@@ -1,0 +1,45 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet race bench sweep examples fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# Regenerate every table and figure of the paper's evaluation.
+sweep:
+	$(GO) run ./cmd/d2dsim -exp table1
+	$(GO) run ./cmd/d2dsim -exp fig3 -seeds 5 -plot
+	$(GO) run ./cmd/d2dsim -exp fig4 -seeds 5 -plot
+	$(GO) run ./cmd/d2dsim -exp ops -sizes 50,200,800 -seeds 3
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/syncdemo
+	$(GO) run ./examples/servicediscovery
+	$(GO) run ./examples/localization
+	$(GO) run ./examples/firingraster
+	$(GO) run ./examples/underlay
+	$(GO) run ./examples/reproduce
+
+fuzz:
+	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/manifest/
+	$(GO) test -fuzz=FuzzSummarize -fuzztime=30s ./internal/metrics/
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,71 @@
+package repro
+
+// Public API. The implementation lives under internal/; this file re-exports
+// the surface a downstream user needs: configure a scenario (Table I by
+// default), deploy an environment, run a protocol, read the results. The
+// experiment drivers and substrates stay internal — they are wired through
+// the d2dsim/d2dtree/d2dtrace commands.
+
+import (
+	"repro/internal/core"
+	"repro/internal/manifest"
+)
+
+// Config holds every knob of a simulation run. Build one with PaperConfig
+// and override fields as needed; see the field documentation in the type.
+type Config = core.Config
+
+// Result is the outcome of one protocol run: convergence time in 1 ms
+// slots (Fig. 3's metric), control-message counters (Fig. 4's metric), the
+// built spanning tree, energy, and discovery coverage.
+type Result = core.Result
+
+// Env is one deployed simulation world (devices, channel, transport).
+type Env = core.Env
+
+// Protocol is a runnable proximity/synchronization protocol.
+type Protocol = core.Protocol
+
+// Manifest is the JSON-serializable form of a Config, for pinning runs to
+// reproducibility artifacts (see d2dsim -config / -saveconfig).
+type Manifest = manifest.Manifest
+
+// PaperConfig returns the configuration of the paper's Table I for n
+// devices at 50 devices per 100 m × 100 m, seeded with seed: 23 dBm
+// transmit power, −95 dBm detection threshold, dual-slope path loss, 10 dB
+// shadowing, UMi NLOS fast fading, 1 ms slots.
+func PaperConfig(n int, seed int64) Config { return core.PaperConfig(n, seed) }
+
+// DefaultManifest returns the manifest equivalent of PaperConfig(n, seed).
+func DefaultManifest(n int, seed int64) Manifest { return manifest.Default(n, seed) }
+
+// LoadManifest reads a run manifest from a JSON file.
+func LoadManifest(path string) (Manifest, error) { return manifest.Load(path) }
+
+// NewEnv deploys a simulation world from the configuration. Build a fresh
+// Env per run: protocol runs consume the environment's stochastic state.
+func NewEnv(cfg Config) (*Env, error) { return core.NewEnv(cfg) }
+
+// ST returns the paper's proposed protocol: RSSI neighbour discovery,
+// parallel heavy-edge fragment merging over RACH2 (Algorithms 1–2), firefly
+// synchronization with O(log n) ordered ranking.
+func ST() Protocol { return core.ST{} }
+
+// FST returns the baseline protocol of Chao et al. [17] as the paper
+// characterizes it: a sequentially grown firefly spanning tree on
+// single-sample RSSI weights, one codec, O(n) brightness scans.
+func FST() Protocol { return core.FST{} }
+
+// BSAssisted returns the infrastructure-assisted reference: the eNB
+// collects neighbour reports over slotted random access, computes the tree
+// centrally, and distributes timing.
+func BSAssisted() Protocol { return core.Centralized{} }
+
+// Run is the one-call convenience: deploy cfg and run the protocol.
+func Run(p Protocol, cfg Config) (Result, error) {
+	env, err := core.NewEnv(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return p.Run(env), nil
+}

@@ -1,0 +1,61 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	cfg := PaperConfig(25, 3)
+	cfg.MaxSlots = 60000
+	res, err := Run(ST(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("public-API run did not converge: %v", res)
+	}
+	if len(res.TreeEdges) != 24 {
+		t.Errorf("tree edges = %d, want 24", len(res.TreeEdges))
+	}
+}
+
+func TestPublicAPIProtocols(t *testing.T) {
+	names := map[string]Protocol{"ST": ST(), "FST": FST(), "BS": BSAssisted()}
+	for want, p := range names {
+		if p.Name() != want {
+			t.Errorf("protocol name %q, want %q", p.Name(), want)
+		}
+	}
+}
+
+func TestPublicAPIManifest(t *testing.T) {
+	m := DefaultManifest(20, 5)
+	cfg, err := m.ToConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.N != 20 || cfg.Seed != 5 {
+		t.Errorf("manifest config n=%d seed=%d", cfg.N, cfg.Seed)
+	}
+	if _, err := LoadManifest("/nonexistent/path.json"); err == nil {
+		t.Error("missing manifest should error")
+	}
+}
+
+func TestPublicAPIBadConfig(t *testing.T) {
+	cfg := PaperConfig(10, 1)
+	cfg.N = 0
+	if _, err := Run(ST(), cfg); err == nil {
+		t.Error("invalid config should error")
+	}
+}
+
+// ExampleRun demonstrates the three-line quickstart of the README.
+func ExampleRun() {
+	cfg := PaperConfig(25, 3) // Table I radio parameters, 25 UEs
+	cfg.MaxSlots = 60000
+	res, _ := Run(ST(), cfg)
+	fmt.Println(res.Converged, len(res.TreeEdges))
+	// Output: true 24
+}

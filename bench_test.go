@@ -1,0 +1,187 @@
+package repro
+
+// Repository-level benchmarks: one per table and figure of the paper's
+// evaluation (Section V), plus the ablations of DESIGN.md. Each benchmark
+// iteration executes one full protocol run and reports the quantity the
+// paper plots as a custom metric (slots/op for Fig. 3, messages/op for
+// Fig. 4), so `go test -bench . -benchmem` regenerates the evaluation's
+// series alongside the usual ns/op.
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/firefly"
+	"repro/internal/xrand"
+)
+
+// benchSizes are the sweep points exercised by the figure benchmarks. The
+// paper sweeps to 1000; benchmarks stop at 400 to keep -bench runs snappy —
+// use `d2dsim -exp fig3` for the full sweep.
+var benchSizes = []int{50, 100, 200, 400}
+
+func runProtocol(b *testing.B, p core.Protocol, n int, seed int64) core.Result {
+	b.Helper()
+	cfg := core.PaperConfig(n, seed)
+	env, err := core.NewEnv(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := p.Run(env)
+	if !res.Converged {
+		b.Fatalf("%s n=%d seed=%d did not converge", p.Name(), n, seed)
+	}
+	return res
+}
+
+// BenchmarkTableI regenerates the simulation-parameter table.
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.TableI().Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2TreeBuild regenerates a Fig. 2 firefly spanning tree
+// instance (17 UEs).
+func BenchmarkFig2TreeBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Fig2Tree(17, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(f.Res.TreeEdges) != 16 {
+			b.Fatalf("tree edges = %d", len(f.Res.TreeEdges))
+		}
+	}
+}
+
+// BenchmarkFig3ConvergenceFST measures the baseline's convergence time
+// across the Fig. 3 sweep; slots/op is the paper's y-axis (1 slot = 1 ms).
+func BenchmarkFig3ConvergenceFST(b *testing.B) {
+	benchFig3(b, core.FST{})
+}
+
+// BenchmarkFig3ConvergenceST measures the proposed protocol's convergence
+// time across the Fig. 3 sweep.
+func BenchmarkFig3ConvergenceST(b *testing.B) {
+	benchFig3(b, core.ST{})
+}
+
+func benchFig3(b *testing.B, p core.Protocol) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var slots float64
+			for i := 0; i < b.N; i++ {
+				res := runProtocol(b, p, n, int64(i)+1)
+				slots += float64(res.ConvergenceSlots)
+			}
+			b.ReportMetric(slots/float64(b.N), "slots/op")
+		})
+	}
+}
+
+// BenchmarkFig4MessagesFST measures the baseline's control-message count
+// across the Fig. 4 sweep; msgs/op is the paper's y-axis.
+func BenchmarkFig4MessagesFST(b *testing.B) {
+	benchFig4(b, core.FST{})
+}
+
+// BenchmarkFig4MessagesST measures the proposed protocol's control-message
+// count across the Fig. 4 sweep.
+func BenchmarkFig4MessagesST(b *testing.B) {
+	benchFig4(b, core.ST{})
+}
+
+func benchFig4(b *testing.B, p core.Protocol) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var msgs float64
+			for i := 0; i < b.N; i++ {
+				res := runProtocol(b, p, n, int64(i)+1)
+				msgs += float64(res.Counters.TotalTx())
+			}
+			b.ReportMetric(msgs/float64(b.N), "msgs/op")
+		})
+	}
+}
+
+// BenchmarkAblationShadowing isolates the RSSI error model: ST runs with
+// sigma = 0 (perfect ranging) vs the Table I 10 dB.
+func BenchmarkAblationShadowing(b *testing.B) {
+	for _, sigma := range []float64{0, 10} {
+		b.Run(fmt.Sprintf("sigma=%v", sigma), func(b *testing.B) {
+			var slots float64
+			for i := 0; i < b.N; i++ {
+				cfg := core.PaperConfig(50, int64(i)+1)
+				cfg.ShadowSigmaDB = sigma
+				env, err := core.NewEnv(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := core.ST{}.Run(env)
+				slots += float64(res.ConvergenceSlots)
+			}
+			b.ReportMetric(slots/float64(b.N), "slots/op")
+		})
+	}
+}
+
+// BenchmarkAblationTopology isolates tree coupling: ST as proposed vs ST
+// with whole-graph mesh coupling.
+func BenchmarkAblationTopology(b *testing.B) {
+	for _, mesh := range []bool{false, true} {
+		name := "tree"
+		if mesh {
+			name = "mesh"
+		}
+		b.Run(name, func(b *testing.B) {
+			var msgs float64
+			for i := 0; i < b.N; i++ {
+				cfg := core.PaperConfig(50, int64(i)+1)
+				cfg.MeshCoupling = mesh
+				env, err := core.NewEnv(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := core.ST{}.Run(env)
+				msgs += float64(res.Counters.TotalTx())
+			}
+			b.ReportMetric(msgs/float64(b.N), "msgs/op")
+		})
+	}
+}
+
+// BenchmarkAblationOrderedSearch isolates Algorithm 3's inner loop: the
+// basic O(n²) scan vs the ordered O(n log n) structure, at n = 256.
+func BenchmarkAblationOrderedSearch(b *testing.B) {
+	p := firefly.DefaultParams(256, 2, -10, 10)
+	p.Iterations = 5
+	obj := firefly.Sphere([]float64{0, 0})
+	b.Run("basic", func(b *testing.B) {
+		var inter float64
+		for i := 0; i < b.N; i++ {
+			res, err := firefly.Run(p, obj, xrand.NewStream(int64(i)+1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			inter += float64(res.Interactions)
+		}
+		b.ReportMetric(inter/float64(b.N), "interactions/op")
+	})
+	b.Run("ordered", func(b *testing.B) {
+		var inter float64
+		for i := 0; i < b.N; i++ {
+			res, err := firefly.RunOrdered(p, obj, xrand.NewStream(int64(i)+1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			inter += float64(res.Interactions)
+		}
+		b.ReportMetric(inter/float64(b.N), "interactions/op")
+	})
+}

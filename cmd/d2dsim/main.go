@@ -1,0 +1,328 @@
+// Command d2dsim runs the paper's experiments and ablations from the
+// command line and prints the result tables (or CSV for plotting).
+//
+// Usage:
+//
+//	d2dsim -exp table1
+//	d2dsim -exp fig3 -sizes 50,100,200,400,600,800,1000 -seeds 5
+//	d2dsim -exp fig4 -csv
+//	d2dsim -exp fig2 -n 17
+//	d2dsim -exp ablation-shadowing -n 50 -seeds 3
+//	d2dsim -exp ablation-topology -n 50 -seeds 3
+//	d2dsim -exp ablation-search -sizes 32,128,512
+//	d2dsim -exp single -proto ST -n 200 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/manifest"
+	"repro/internal/metrics"
+	"repro/internal/units"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "fig3", "experiment: table1, fig2, fig3, fig4, ops, ablation-shadowing, ablation-topology, ablation-drift, ablation-preambles, ablation-search, single")
+		sizesStr = flag.String("sizes", "50,100,200,400,600,800,1000", "comma-separated device counts for sweeps")
+		seeds    = flag.Int("seeds", 5, "repetitions per sweep point")
+		baseSeed = flag.Int64("seed", 1, "base seed")
+		n        = flag.Int("n", 50, "device count for single-size experiments")
+		proto    = flag.String("proto", "ST", "protocol for -exp single: FST or ST")
+		maxSlots = flag.Int64("maxslots", 0, "override the per-run slot cap (0 = default)")
+		workers  = flag.Int("workers", 0, "sweep worker pool size (0 = NumCPU)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		plot     = flag.Bool("plot", false, "also draw fig3/fig4 as a terminal line chart")
+		cfgPath  = flag.String("config", "", "run -exp single from a JSON manifest (overrides -n/-seed)")
+		savePath = flag.String("saveconfig", "", "write the default manifest for -n/-seed to this path and exit")
+	)
+	flag.Parse()
+
+	if *savePath != "" {
+		if err := manifest.Default(*n, *baseSeed).Save(*savePath); err != nil {
+			fmt.Fprintln(os.Stderr, "d2dsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote manifest for n=%d seed=%d to %s\n", *n, *baseSeed, *savePath)
+		return
+	}
+	if *cfgPath != "" {
+		if err := runFromManifest(*cfgPath, *proto); err != nil {
+			fmt.Fprintln(os.Stderr, "d2dsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if err := run(*exp, *sizesStr, *seeds, *baseSeed, *n, *proto, *maxSlots, *workers, *csv, *plot); err != nil {
+		fmt.Fprintln(os.Stderr, "d2dsim:", err)
+		os.Exit(1)
+	}
+}
+
+// runFromManifest executes one protocol run pinned by a JSON manifest.
+func runFromManifest(path, proto string) error {
+	m, err := manifest.Load(path)
+	if err != nil {
+		return err
+	}
+	cfg, err := m.ToConfig()
+	if err != nil {
+		return err
+	}
+	env, err := core.NewEnv(cfg)
+	if err != nil {
+		return err
+	}
+	p, err := protocolByName(proto)
+	if err != nil {
+		return err
+	}
+	res := p.Run(env)
+	fmt.Println(res)
+	fmt.Printf("energy: %v\n", res.Energy)
+	return nil
+}
+
+func protocolByName(name string) (core.Protocol, error) {
+	switch strings.ToUpper(name) {
+	case "FST":
+		return core.FST{}, nil
+	case "ST":
+		return core.ST{}, nil
+	case "BS":
+		return core.Centralized{}, nil
+	default:
+		return nil, fmt.Errorf("unknown protocol %q", name)
+	}
+}
+
+func run(exp, sizesStr string, seeds int, baseSeed int64, n int, proto string, maxSlots int64, workers int, csv, plot bool) error {
+	emit := func(t *metrics.Table) error {
+		if csv {
+			return t.RenderCSV(os.Stdout)
+		}
+		return t.Render(os.Stdout)
+	}
+	sweep := func() ([]experiments.Row, error) {
+		sizes, err := parseSizes(sizesStr)
+		if err != nil {
+			return nil, err
+		}
+		return experiments.RunSweep(experiments.Options{
+			Sizes: sizes, Seeds: seeds, BaseSeed: baseSeed,
+			MaxSlots: units.Slot(maxSlots), Workers: workers,
+		})
+	}
+
+	switch exp {
+	case "table1":
+		return emit(experiments.TableI())
+	case "fig2":
+		f, err := experiments.Fig2Tree(n, baseSeed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(f.Render())
+		return nil
+	case "fig3":
+		rows, err := sweep()
+		if err != nil {
+			return err
+		}
+		if err := emit(experiments.Fig3Table(rows)); err != nil {
+			return err
+		}
+		if plot {
+			out, err := experiments.Fig3Chart(rows).Render()
+			if err != nil {
+				return err
+			}
+			fmt.Println()
+			fmt.Print(out)
+		}
+		return nil
+	case "fig4":
+		rows, err := sweep()
+		if err != nil {
+			return err
+		}
+		if err := emit(experiments.Fig4Table(rows)); err != nil {
+			return err
+		}
+		if plot {
+			out, err := experiments.Fig4Chart(rows).Render()
+			if err != nil {
+				return err
+			}
+			fmt.Println()
+			fmt.Print(out)
+		}
+		return nil
+	case "ops":
+		rows, err := sweep()
+		if err != nil {
+			return err
+		}
+		return emit(experiments.OpsTable(rows))
+	case "energy":
+		rows, err := sweep()
+		if err != nil {
+			return err
+		}
+		return emit(experiments.EnergyTable(rows))
+	case "ablation-shadowing":
+		t, err := experiments.AblationShadowing(n, seeds, baseSeed)
+		if err != nil {
+			return err
+		}
+		return emit(t)
+	case "ablation-topology":
+		t, err := experiments.AblationTopology(n, seeds, baseSeed)
+		if err != nil {
+			return err
+		}
+		return emit(t)
+	case "services":
+		t, err := experiments.Services(n, seeds, baseSeed, nil)
+		if err != nil {
+			return err
+		}
+		return emit(t)
+	case "mobility":
+		t, err := experiments.Mobility(n, 4, 120, baseSeed)
+		if err != nil {
+			return err
+		}
+		return emit(t)
+	case "ablation-capture":
+		t, err := experiments.AblationCapture(n, seeds, baseSeed)
+		if err != nil {
+			return err
+		}
+		return emit(t)
+	case "timeline":
+		t, err := experiments.Timeline(n, baseSeed)
+		if err != nil {
+			return err
+		}
+		return emit(t)
+	case "ablation-channel":
+		t, err := experiments.AblationChannel(n, seeds, baseSeed)
+		if err != nil {
+			return err
+		}
+		return emit(t)
+	case "cdf":
+		t, err := experiments.ConvergenceDistribution(n, seeds, baseSeed)
+		if err != nil {
+			return err
+		}
+		return emit(t)
+	case "underlay":
+		t, err := experiments.Underlay(nil, baseSeed)
+		if err != nil {
+			return err
+		}
+		return emit(t)
+	case "treequality":
+		t, err := experiments.TreeQuality(n, seeds, baseSeed)
+		if err != nil {
+			return err
+		}
+		return emit(t)
+	case "discovery":
+		t, err := experiments.DiscoverySchedules(n, baseSeed, maxSlots)
+		if err != nil {
+			return err
+		}
+		return emit(t)
+	case "threeway":
+		sizes, err := parseSizes(sizesStr)
+		if err != nil {
+			return err
+		}
+		t, err := experiments.ThreeWay(sizes, seeds, baseSeed)
+		if err != nil {
+			return err
+		}
+		return emit(t)
+	case "ablation-detection":
+		t, err := experiments.AblationDetection(n, seeds, baseSeed)
+		if err != nil {
+			return err
+		}
+		return emit(t)
+	case "ablation-preambles":
+		t, err := experiments.AblationPreambles(n, seeds, baseSeed, nil)
+		if err != nil {
+			return err
+		}
+		return emit(t)
+	case "ablation-drift":
+		t, err := experiments.AblationDrift(n, seeds, baseSeed, nil)
+		if err != nil {
+			return err
+		}
+		return emit(t)
+	case "ablation-search":
+		sizes, err := parseSizes(sizesStr)
+		if err != nil {
+			return err
+		}
+		t, err := experiments.AblationSearch(sizes, 5, baseSeed)
+		if err != nil {
+			return err
+		}
+		return emit(t)
+	case "single":
+		cfg := core.PaperConfig(n, baseSeed)
+		if maxSlots > 0 {
+			cfg.MaxSlots = units.Slot(maxSlots)
+		}
+		env, err := core.NewEnv(cfg)
+		if err != nil {
+			return err
+		}
+		p, err := protocolByName(proto)
+		if err != nil {
+			return err
+		}
+		res := p.Run(env)
+		fmt.Println(res)
+		fmt.Printf("service discovery: %.1f%%, discovered links: %d\n",
+			100*res.ServiceDiscovery, res.DiscoveredLinks)
+		if res.TreeEdges != nil {
+			fmt.Printf("tree: %d edges over %d phases, weight %.1f\n",
+				len(res.TreeEdges), res.TreePhases, res.TreeWeight)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no sizes given")
+	}
+	return out, nil
+}

@@ -1,0 +1,75 @@
+package main
+
+import "testing"
+
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes("50,100, 200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{50, 100, 200}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// Trailing commas and blanks are tolerated.
+	if got, err := parseSizes("10,,20,"); err != nil || len(got) != 2 {
+		t.Errorf("got %v, %v", got, err)
+	}
+}
+
+func TestParseSizesErrors(t *testing.T) {
+	for _, bad := range []string{"", "abc", "10,-5", "0", "1.5"} {
+		if _, err := parseSizes(bad); err == nil {
+			t.Errorf("parseSizes(%q) should error", bad)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("nonsense", "10", 1, 1, 10, "ST", 0, 1, false, false); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestRunUnknownProtocol(t *testing.T) {
+	if err := run("single", "10", 1, 1, 10, "XYZ", 0, 1, false, false); err == nil {
+		t.Error("unknown protocol should error")
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	if err := run("table1", "10", 1, 1, 10, "ST", 0, 1, false, false); err != nil {
+		t.Errorf("table1 failed: %v", err)
+	}
+	if err := run("table1", "10", 1, 1, 10, "ST", 0, 1, true, false); err != nil {
+		t.Errorf("table1 CSV failed: %v", err)
+	}
+}
+
+func TestRunSingle(t *testing.T) {
+	for _, proto := range []string{"ST", "FST", "fst", "st"} {
+		if err := run("single", "10", 1, 1, 20, proto, 60000, 1, false, false); err != nil {
+			t.Errorf("single %s failed: %v", proto, err)
+		}
+	}
+}
+
+func TestRunFig2(t *testing.T) {
+	if err := run("fig2", "10", 1, 1, 17, "ST", 0, 1, false, false); err != nil {
+		t.Errorf("fig2 failed: %v", err)
+	}
+}
+
+func TestRunSweepExperiments(t *testing.T) {
+	// Tiny sweep through each sweep-backed experiment, with plots.
+	for _, exp := range []string{"fig3", "fig4", "ops", "energy"} {
+		if err := run(exp, "15,20", 1, 1, 10, "ST", 60000, 2, false, true); err != nil {
+			t.Errorf("%s failed: %v", exp, err)
+		}
+	}
+}

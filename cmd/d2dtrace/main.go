@@ -1,0 +1,78 @@
+// Command d2dtrace runs a protocol with fire tracing enabled and renders
+// the firing raster — the visual proof of synchrony (scattered marks
+// collapsing into vertical stripes) — plus an optional event log.
+//
+//	d2dtrace -n 24 -proto ST -periods 6
+//	d2dtrace -n 24 -proto FST -events | head -50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 24, "number of UEs")
+		seed    = flag.Int64("seed", 9, "run seed")
+		proto   = flag.String("proto", "ST", "protocol: FST, ST or BS")
+		periods = flag.Int("periods", 6, "periods to show at each end of the run")
+		events  = flag.Bool("events", false, "dump the raw event log instead of rasters")
+	)
+	flag.Parse()
+
+	if err := run(*n, *seed, *proto, *periods, *events); err != nil {
+		fmt.Fprintln(os.Stderr, "d2dtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n int, seed int64, proto string, periods int, events bool) error {
+	cfg := core.PaperConfig(n, seed)
+	rec := trace.NewRecorder(500000)
+	cfg.FireTrace = func(slot units.Slot, dev int) { rec.Fire(slot, dev) }
+
+	env, err := core.NewEnv(cfg)
+	if err != nil {
+		return err
+	}
+	var p core.Protocol
+	switch strings.ToUpper(proto) {
+	case "FST":
+		p = core.FST{}
+	case "ST":
+		p = core.ST{}
+	case "BS":
+		p = core.Centralized{}
+	default:
+		return fmt.Errorf("unknown protocol %q", proto)
+	}
+	res := p.Run(env)
+	fmt.Println(res)
+	if !res.Converged {
+		return fmt.Errorf("run did not converge")
+	}
+
+	if events {
+		_, err := rec.WriteTo(os.Stdout)
+		return err
+	}
+
+	window := units.Slot(periods * cfg.PeriodSlots)
+	evs := rec.Events()
+	fmt.Printf("\n--- first %d periods ---\n", periods)
+	fmt.Print(trace.Raster(evs, n, 0, window, 10))
+	start := res.ConvergenceSlots - window
+	if start < 0 {
+		start = 0
+	}
+	fmt.Printf("\n--- last %d periods before convergence ---\n", periods)
+	fmt.Print(trace.Raster(evs, n, start, res.ConvergenceSlots, 10))
+	return nil
+}

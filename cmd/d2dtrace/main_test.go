@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunST(t *testing.T) {
+	if err := run(15, 1, "ST", 3, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEvents(t *testing.T) {
+	if err := run(10, 1, "FST", 2, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownProtocol(t *testing.T) {
+	if err := run(10, 1, "XYZ", 2, false); err == nil {
+		t.Error("unknown protocol should error")
+	}
+}

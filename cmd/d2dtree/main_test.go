@@ -1,0 +1,21 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// The binary is a thin wrapper over experiments.Fig2Tree; pin the wiring.
+func TestFig2TreeWiring(t *testing.T) {
+	f, err := experiments.Fig2Tree(17, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Res.TreeEdges) != 16 {
+		t.Fatalf("tree edges = %d", len(f.Res.TreeEdges))
+	}
+	if f.Render() == "" {
+		t.Error("empty rendering")
+	}
+}

@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "Firefly inspired
+// Improved Distributed Proximity Algorithm for D2D Communication"
+// (Pratap & Misra, IEEE IPDPSW 2015): a slotted D2D network simulator with
+// the Table I radio channel, Mirollo–Strogatz pulse-coupled firefly
+// synchronization, RSSI ranging, the proposed tree-based ST protocol and
+// the FST baseline, plus the benchmark harness that regenerates every
+// table and figure of the paper's evaluation.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results. The root package holds the repository-level
+// benchmarks (bench_test.go); the implementation lives under internal/.
+package repro

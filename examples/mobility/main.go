@@ -1,0 +1,89 @@
+// Mobility: the paper's future-work scenario ("more realistic scenarios of
+// D2D LTE-A networks"). Devices walk a random-waypoint pattern at
+// pedestrian speed; every epoch the network re-runs ST proximity discovery
+// from scratch over the new geometry. The tree the protocol builds tracks
+// the changing topology: edges appear and disappear as devices drift in and
+// out of each other's −95 dBm footprint.
+//
+//	go run ./examples/mobility
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/geo"
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+func main() {
+	const (
+		n          = 40
+		epochs     = 4
+		walkSlots  = 120000 // 2 minutes of walking between epochs
+		speedMps   = 1.4    // pedestrian; slots are 1 ms
+		slotsPerMS = 1
+	)
+	cfg := core.PaperConfig(n, 11)
+	area := cfg.Area
+
+	// Independent walkers, one per device.
+	walkSrc := xrand.NewStream(99)
+	walkers := make([]*device.RandomWaypoint, n)
+	positions := geo.UniformDeployment(n, area, walkSrc)
+	for i := range walkers {
+		walkers[i] = device.NewRandomWaypoint(area, speedMps/1000*slotsPerMS, walkSrc)
+	}
+
+	var prev []graph.Edge
+	for epoch := 0; epoch < epochs; epoch++ {
+		cfg.Seed = 11 + int64(epoch) // fresh channel randomness per epoch
+		env, err := core.NewEnvAt(cfg, positions)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := core.ST{}.Run(env)
+		fmt.Printf("epoch %d: %v\n", epoch, res)
+		if res.Converged {
+			fmt.Printf("         tree: %d edges, %d merge phases, %.0f%% same-interest discovery\n",
+				len(res.TreeEdges), res.TreePhases, 100*res.ServiceDiscovery)
+		}
+		if prev != nil {
+			kept := sharedEdges(prev, res.TreeEdges)
+			fmt.Printf("         topology churn: %d/%d tree edges survived the walk\n",
+				kept, len(prev))
+		}
+		prev = res.TreeEdges
+
+		// Walk everyone for the inter-epoch interval.
+		for s := 0; s < walkSlots; s++ {
+			for i := range positions {
+				positions[i] = walkers[i].Step(positions[i])
+			}
+		}
+	}
+}
+
+// sharedEdges counts undirected edges present in both trees.
+func sharedEdges(a, b []graph.Edge) int {
+	key := func(e graph.Edge) [2]int {
+		if e.U < e.V {
+			return [2]int{e.U, e.V}
+		}
+		return [2]int{e.V, e.U}
+	}
+	set := make(map[[2]int]bool, len(a))
+	for _, e := range a {
+		set[key(e)] = true
+	}
+	n := 0
+	for _, e := range b {
+		if set[key(e)] {
+			n++
+		}
+	}
+	return n
+}

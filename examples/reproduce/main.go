@@ -1,0 +1,57 @@
+// Reproduce: the paper's evaluation in one command, at demo scale. Runs a
+// reduced Fig. 3 / Fig. 4 sweep (three sizes, two seeds), prints Table I
+// and both figure tables with terminal charts — a five-minute sanity pass
+// before committing to the full `d2dsim -exp fig3 -seeds 5` sweep.
+//
+//	go run ./examples/reproduce
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/units"
+)
+
+func main() {
+	fmt.Println("=== Table I ===")
+	if err := experiments.TableI().Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n=== Fig. 3 / Fig. 4 (demo sweep: 3 sizes x 2 seeds) ===")
+	rows, err := experiments.RunSweep(experiments.Options{
+		Sizes:    []int{50, 150, 400},
+		Seeds:    2,
+		BaseSeed: 1,
+		MaxSlots: units.Slot(200000),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := experiments.Fig3Table(rows).Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	chart3, err := experiments.Fig3Chart(rows).Render()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(chart3)
+
+	fmt.Println()
+	if err := experiments.Fig4Table(rows).Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	chart4, err := experiments.Fig4Chart(rows).Render()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(chart4)
+
+	fmt.Println("\nExpected shape: comparable below ~200 nodes; ST increasingly")
+	fmt.Println("faster and (by ~400) cheaper above. Full sweep: d2dsim -exp fig3 -plot")
+}

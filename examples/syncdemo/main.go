@@ -1,0 +1,57 @@
+// Sync demo: watch raw Mirollo–Strogatz pulse-coupled synchrony emerge,
+// without any radio stack — the Section III model in isolation. Thirty
+// oscillators start at random phases on a full mesh; the Kuramoto order
+// parameter r climbs from disorder (r ≈ 0.2) to perfect synchrony (r = 1).
+//
+//	go run ./examples/syncdemo
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/oscillator"
+	"repro/internal/xrand"
+)
+
+func main() {
+	const (
+		n      = 30
+		period = 100 // slots (1 ms each per Table I)
+	)
+	src := xrand.NewStream(3)
+	phases := make([]float64, n)
+	for i := range phases {
+		phases[i] = src.Float64()
+	}
+
+	// A ring topology with weak coupling makes the climb visible period by
+	// period; a full mesh with the default coupling locks within one.
+	coupling := oscillator.WeakCoupling()
+	fmt.Printf("coupling: alpha=%.4f beta=%.4f (Mirollo–Strogatz condition: %v)\n",
+		coupling.Alpha, coupling.Beta, coupling.Converges())
+	fmt.Printf("topology: ring of %d (each oscillator hears its two neighbours)\n\n", n)
+
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		adj[i] = []int{(i + n - 1) % n, (i + 1) % n}
+	}
+	ens := oscillator.NewEnsemble(phases, period, coupling, adj)
+	fmt.Println("period   order-parameter r")
+	for p := 0; p <= 40; p++ {
+		r := oscillator.OrderParameter(ens.Phases())
+		bar := strings.Repeat("#", int(r*50))
+		fmt.Printf("%6d   %.3f %s\n", p, r, bar)
+		if r > 0.9999 && p > 0 {
+			fmt.Println("\nsynchronized: all oscillators share one phase")
+			break
+		}
+		for s := 0; s < period; s++ {
+			ens.Step()
+		}
+	}
+
+	// Confirm with the same-slot firing criterion the protocols use.
+	at, ok := ens.RunUntilSync(0, 3, int64(200*period))
+	fmt.Printf("same-slot firing criterion met: %v (slot %d)\n", ok, at)
+}

@@ -1,0 +1,69 @@
+// Underlay: the paper's opening claim — "D2D communication underlaying
+// cellular technology not only increases system capacity but also utilizes
+// the advantage of physical proximity" — demonstrated end to end. A 500 m
+// cell carries ten uplink users; proximate D2D pairs reuse their resource
+// blocks under an interference-aware assignment, and the example prints
+// system capacity under Shannon rates and under LTE link adaptation,
+// against the relay-through-the-BS alternative.
+//
+//	go run ./examples/underlay
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+	"repro/internal/spectrum"
+	"repro/internal/xrand"
+)
+
+func main() {
+	const cell = 500.0
+	src := xrand.NewStream(21)
+	area := geo.Square(cell)
+	bs := area.Center()
+	cellUEs := geo.UniformDeployment(10, area, src)
+
+	// Proximate D2D pairs: partner within 30 m.
+	var pairs [][2]geo.Point
+	for i := 0; i < 12; i++ {
+		tx := geo.Point{X: src.Uniform(0, cell), Y: src.Uniform(0, cell)}
+		rx := area.Clamp(geo.Point{X: tx.X + src.Uniform(-30, 30), Y: tx.Y + src.Uniform(-30, 30)})
+		pairs = append(pairs, [2]geo.Point{tx, rx})
+	}
+
+	s := spectrum.PaperScenario(bs, cellUEs, pairs)
+	assign := spectrum.GreedyAssign(s)
+
+	fmt.Printf("cell: %0.f m, %d uplink users, %d D2D pairs\n\n", cell, len(cellUEs), len(pairs))
+
+	noD2D := s.Evaluate(make12(-1))
+	under := s.Evaluate(assign)
+	relay := s.CellularOnly(assign)
+	fmt.Println("Shannon rates:")
+	fmt.Printf("  no D2D:        %v\n", noD2D)
+	fmt.Printf("  underlay:      %v\n", under)
+	fmt.Printf("  BS relaying:   %v\n", relay)
+	fmt.Printf("  underlay gain: %.1fx over relaying\n\n", under.SumBpsHz/relay.SumBpsHz)
+
+	underMCS := s.EvaluateDiscrete(assign)
+	fmt.Println("LTE link adaptation (CQI/MCS + BLER):")
+	fmt.Printf("  underlay:      %v\n", underMCS)
+	fmt.Printf("  quantization cost vs Shannon: %.0f%%\n",
+		100*(1-underMCS.SumBpsHz/under.SumBpsHz))
+
+	// Show the PRB assignment the greedy scheduler chose.
+	fmt.Println("\nPRB reuse map (pair -> cellular UE whose PRB it shares):")
+	for i, prb := range assign {
+		d := pairs[i][0].Dist(pairs[i][1])
+		fmt.Printf("  pair %2d (link %4.1f m) -> PRB %d\n", i, d, prb)
+	}
+}
+
+func make12(v int) []int {
+	out := make([]int, 12)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+// Package asciichart renders simple multi-series line charts as terminal
+// text, so `d2dsim -plot` can show the shape of Fig. 3 and Fig. 4 without
+// any plotting dependency. Series are drawn over a fixed character canvas
+// with distinct glyphs per series, a left value axis and a bottom category
+// axis.
+package asciichart
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line.
+type Series struct {
+	// Name appears in the legend.
+	Name string
+	// Values are the y-values, one per x category; NaN skips a point.
+	Values []float64
+}
+
+// Chart is a multi-series line chart over shared x categories.
+type Chart struct {
+	// Title is printed above the canvas.
+	Title string
+	// XLabels name the categories (e.g. node counts).
+	XLabels []string
+	// Series are the lines; each must have len(XLabels) values.
+	Series []Series
+	// Height is the canvas height in rows (default 16).
+	Height int
+	// Width is the canvas width in columns (default 64).
+	Width int
+	// LogY plots log10 of the values (useful for message counts).
+	LogY bool
+}
+
+var glyphs = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws the chart. It returns an error when the series lengths do
+// not match the category count or no finite data exists.
+func (c *Chart) Render() (string, error) {
+	if len(c.XLabels) == 0 {
+		return "", fmt.Errorf("asciichart: no categories")
+	}
+	for _, s := range c.Series {
+		if len(s.Values) != len(c.XLabels) {
+			return "", fmt.Errorf("asciichart: series %q has %d values for %d categories",
+				s.Name, len(s.Values), len(c.XLabels))
+		}
+	}
+	height := c.Height
+	if height <= 0 {
+		height = 16
+	}
+	width := c.Width
+	if width <= 0 {
+		width = 64
+	}
+
+	transform := func(v float64) float64 {
+		if c.LogY {
+			if v <= 0 {
+				return math.NaN()
+			}
+			return math.Log10(v)
+		}
+		return v
+	}
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			tv := transform(v)
+			if math.IsNaN(tv) || math.IsInf(tv, 0) {
+				continue
+			}
+			lo = math.Min(lo, tv)
+			hi = math.Max(hi, tv)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return "", fmt.Errorf("asciichart: no finite data")
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	canvas := make([][]byte, height)
+	for i := range canvas {
+		canvas[i] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(i int) int {
+		if len(c.XLabels) == 1 {
+			return width / 2
+		}
+		return i * (width - 1) / (len(c.XLabels) - 1)
+	}
+	row := func(v float64) int {
+		frac := (v - lo) / (hi - lo)
+		r := int(math.Round(float64(height-1) * (1 - frac)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+
+	for si, s := range c.Series {
+		g := glyphs[si%len(glyphs)]
+		prevC, prevR := -1, -1
+		for i, v := range s.Values {
+			tv := transform(v)
+			if math.IsNaN(tv) || math.IsInf(tv, 0) {
+				prevC = -1
+				continue
+			}
+			cc, rr := col(i), row(tv)
+			if prevC >= 0 {
+				drawLine(canvas, prevC, prevR, cc, rr, g)
+			}
+			canvas[rr][cc] = g
+			prevC, prevR = cc, rr
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	axisFmt := func(v float64) string {
+		if c.LogY {
+			return fmt.Sprintf("%9.3g", math.Pow(10, v))
+		}
+		return fmt.Sprintf("%9.3g", v)
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", 9)
+		switch r {
+		case 0:
+			label = axisFmt(hi)
+		case height - 1:
+			label = axisFmt(lo)
+		case (height - 1) / 2:
+			label = axisFmt((hi + lo) / 2)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(canvas[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 9), strings.Repeat("-", width))
+	// X labels: first, middle, last.
+	xline := make([]byte, width+11)
+	for i := range xline {
+		xline[i] = ' '
+	}
+	place := func(i int, s string) {
+		start := 11 + col(i) - len(s)/2
+		if start < 0 {
+			start = 0
+		}
+		if start+len(s) > len(xline) {
+			start = len(xline) - len(s)
+		}
+		copy(xline[start:], s)
+	}
+	place(0, c.XLabels[0])
+	if len(c.XLabels) > 2 {
+		place(len(c.XLabels)/2, c.XLabels[len(c.XLabels)/2])
+	}
+	if len(c.XLabels) > 1 {
+		place(len(c.XLabels)-1, c.XLabels[len(c.XLabels)-1])
+	}
+	b.Write(xline)
+	b.WriteByte('\n')
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "  %c %s", glyphs[si%len(glyphs)], s.Name)
+	}
+	if len(c.Series) > 0 {
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// drawLine draws a straight glyph segment with integer interpolation
+// (Bresenham-light; good enough for terminal charts).
+func drawLine(canvas [][]byte, x0, y0, x1, y1 int, g byte) {
+	steps := abs(x1-x0) + abs(y1-y0)
+	if steps == 0 {
+		return
+	}
+	for s := 0; s <= steps; s++ {
+		x := x0 + (x1-x0)*s/steps
+		y := y0 + (y1-y0)*s/steps
+		if canvas[y][x] == ' ' {
+			canvas[y][x] = g
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

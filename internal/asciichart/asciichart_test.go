@@ -1,0 +1,174 @@
+package asciichart
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	c := &Chart{
+		Title:   "Fig test",
+		XLabels: []string{"50", "100", "200"},
+		Series: []Series{
+			{Name: "FST", Values: []float64{10, 20, 40}},
+			{Name: "ST", Values: []float64{12, 14, 16}},
+		},
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Fig test", "FST", "ST", "50", "200", "*", "o"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderMonotoneSeriesTopToBottom(t *testing.T) {
+	c := &Chart{
+		XLabels: []string{"a", "b"},
+		Series:  []Series{{Name: "up", Values: []float64{0, 100}}},
+		Height:  10, Width: 20,
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	// The max (100) appears on the first canvas row (right side), the min
+	// (0) on the last canvas row (left side).
+	firstRow := lines[0]
+	lastRow := lines[9]
+	if !strings.Contains(firstRow, "*") {
+		t.Errorf("top row should hold the max point:\n%s", out)
+	}
+	if !strings.Contains(lastRow, "*") {
+		t.Errorf("bottom row should hold the min point:\n%s", out)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(firstRow), "100") {
+		t.Errorf("top axis label should be 100: %q", firstRow)
+	}
+}
+
+func TestRenderLogY(t *testing.T) {
+	c := &Chart{
+		XLabels: []string{"a", "b", "c"},
+		Series:  []Series{{Name: "s", Values: []float64{10, 100, 1000}}},
+		LogY:    true,
+		Height:  9, Width: 21,
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Log scale: the midpoint (100) sits on the middle row.
+	lines := strings.Split(out, "\n")
+	mid := lines[4]
+	if !strings.Contains(mid, "*") {
+		t.Errorf("log midpoint not centered:\n%s", out)
+	}
+	if !strings.Contains(out, "1e+03") && !strings.Contains(out, "1000") {
+		t.Errorf("log axis label missing:\n%s", out)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if _, err := (&Chart{}).Render(); err == nil {
+		t.Error("no categories should error")
+	}
+	c := &Chart{XLabels: []string{"a"}, Series: []Series{{Name: "bad", Values: []float64{1, 2}}}}
+	if _, err := c.Render(); err == nil {
+		t.Error("length mismatch should error")
+	}
+	c2 := &Chart{XLabels: []string{"a"}, Series: []Series{{Name: "nan", Values: []float64{math.NaN()}}}}
+	if _, err := c2.Render(); err == nil {
+		t.Error("all-NaN data should error")
+	}
+}
+
+func TestRenderNaNSkipsPoint(t *testing.T) {
+	c := &Chart{
+		XLabels: []string{"a", "b", "c"},
+		Series:  []Series{{Name: "s", Values: []float64{1, math.NaN(), 3}}},
+	}
+	if _, err := c.Render(); err != nil {
+		t.Fatalf("NaN point should be skipped, got %v", err)
+	}
+}
+
+func TestRenderFlatSeries(t *testing.T) {
+	c := &Chart{
+		XLabels: []string{"a", "b"},
+		Series:  []Series{{Name: "flat", Values: []float64{5, 5}}},
+	}
+	if _, err := c.Render(); err != nil {
+		t.Fatalf("flat series should render: %v", err)
+	}
+}
+
+func TestRenderSingleCategory(t *testing.T) {
+	c := &Chart{
+		XLabels: []string{"only"},
+		Series:  []Series{{Name: "s", Values: []float64{42}}},
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "only") {
+		t.Error("single category label missing")
+	}
+}
+
+func TestLogYNonPositiveSkipped(t *testing.T) {
+	c := &Chart{
+		XLabels: []string{"a", "b"},
+		Series:  []Series{{Name: "s", Values: []float64{0, 10}}},
+		LogY:    true,
+	}
+	if _, err := c.Render(); err != nil {
+		t.Fatalf("non-positive value under LogY should be skipped: %v", err)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := &Histogram{Title: "conv times", Bins: 4, Width: 20}
+	out, err := h.Render([]float64{1, 1, 1, 2, 3, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "conv times") || !strings.Contains(out, "#") {
+		t.Errorf("histogram missing parts:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines != 5 { // title + 4 bins
+		t.Errorf("lines = %d, want 5:\n%s", lines, out)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h := &Histogram{}
+	if _, err := h.Render(nil); err == nil {
+		t.Error("empty sample should error")
+	}
+	out, err := h.Render([]float64{5, 5, 5})
+	if err != nil {
+		t.Fatalf("constant sample should render: %v", err)
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("constant sample should still show a bar")
+	}
+}
+
+func TestManySeriesGlyphsCycle(t *testing.T) {
+	var series []Series
+	for i := 0; i < 8; i++ {
+		series = append(series, Series{Name: "s", Values: []float64{float64(i), float64(i + 1)}})
+	}
+	c := &Chart{XLabels: []string{"a", "b"}, Series: series}
+	if _, err := c.Render(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+package asciichart
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram renders a horizontal-bar histogram of a sample — the terminal
+// form of the convergence-time distributions the cdf experiment reports.
+type Histogram struct {
+	// Title is printed above the bars.
+	Title string
+	// Bins is the bucket count (default 10).
+	Bins int
+	// Width is the maximum bar width in characters (default 40).
+	Width int
+}
+
+// Render draws the histogram of xs. It returns an error for an empty
+// sample.
+func (h *Histogram) Render(xs []float64) (string, error) {
+	if len(xs) == 0 {
+		return "", fmt.Errorf("asciichart: empty sample")
+	}
+	bins := h.Bins
+	if bins <= 0 {
+		bins = 10
+	}
+	width := h.Width
+	if width <= 0 {
+		width = 40
+	}
+	lo, hi := xs[0], xs[0]
+	for _, v := range xs {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	counts := make([]int, bins)
+	for _, v := range xs {
+		b := int(float64(bins) * (v - lo) / (hi - lo))
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var sb strings.Builder
+	if h.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", h.Title)
+	}
+	for b, c := range counts {
+		from := lo + float64(b)*(hi-lo)/float64(bins)
+		to := lo + float64(b+1)*(hi-lo)/float64(bins)
+		bar := strings.Repeat("#", c*width/maxCount)
+		fmt.Fprintf(&sb, "[%9.3g, %9.3g) %4d %s\n", from, to, c, bar)
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rach"
+)
+
+func TestCentralizedConverges(t *testing.T) {
+	env := mustEnv(t, fastConfig(30, 1))
+	res := Centralized{}.Run(env)
+	if !res.Converged {
+		t.Fatalf("BS-assisted run did not converge: %v", res)
+	}
+	if res.Protocol != "BS" {
+		t.Errorf("protocol = %q", res.Protocol)
+	}
+	// Exactly two downlink broadcasts: report request + tree/timing.
+	if res.Counters.Tx[rach.RACH2] != 2 {
+		t.Errorf("downlink messages = %d, want 2", res.Counters.Tx[rach.RACH2])
+	}
+	// At least one uplink report attempt per device plus the beacons.
+	if res.Counters.Tx[rach.RACH1] < uint64(30) {
+		t.Errorf("uplink+beacon messages = %d, want >= 30", res.Counters.Tx[rach.RACH1])
+	}
+	if res.Energy.TotalMJ <= 0 {
+		t.Error("energy not charged")
+	}
+}
+
+func TestCentralizedBuildsSpanningTree(t *testing.T) {
+	env := mustEnv(t, fastConfig(40, 3))
+	res := Centralized{}.Run(env)
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if len(res.TreeEdges) != 39 {
+		t.Fatalf("central tree has %d edges, want 39", len(res.TreeEdges))
+	}
+	if !graph.SpanningTreeOf(40, res.TreeEdges) {
+		t.Error("central tree is not a spanning tree")
+	}
+}
+
+func TestCentralizedDeterministic(t *testing.T) {
+	cfg := fastConfig(25, 7)
+	a := Centralized{}.Run(mustEnv(t, cfg))
+	b := Centralized{}.Run(mustEnv(t, cfg))
+	if a.ConvergenceSlots != b.ConvergenceSlots || a.Counters != b.Counters {
+		t.Errorf("same-seed BS runs differ:\n%v\n%v", a, b)
+	}
+}
+
+func TestCentralizedFewerMessagesThanDistributed(t *testing.T) {
+	// The point of the yardstick: infrastructure assistance is
+	// message-cheap (no merge handshakes, no long beacon tail).
+	cfg := fastConfig(100, 2)
+	bs := Centralized{}.Run(mustEnv(t, cfg))
+	st := ST{}.Run(mustEnv(t, cfg))
+	if !bs.Converged || !st.Converged {
+		t.Fatal("both should converge")
+	}
+	if bs.Counters.TotalTx() >= st.Counters.TotalTx() {
+		t.Errorf("BS (%d msgs) should beat ST (%d msgs) on message count",
+			bs.Counters.TotalTx(), st.Counters.TotalTx())
+	}
+}
+
+func TestCentralizedContentionScalesWithN(t *testing.T) {
+	// Report collection time grows with the cell population: the
+	// contention window is sized 4n, so doubling n should lengthen the
+	// run noticeably.
+	small := Centralized{}.Run(mustEnv(t, fastConfig(50, 4)))
+	big := Centralized{}.Run(mustEnv(t, fastConfig(200, 4)))
+	if !small.Converged || !big.Converged {
+		t.Fatal("both should converge")
+	}
+	if big.ConvergenceSlots <= small.ConvergenceSlots {
+		t.Errorf("n=200 (%d slots) should take longer than n=50 (%d slots)",
+			big.ConvergenceSlots, small.ConvergenceSlots)
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+)
+
+// Churn tests: synchrony must survive devices powering off after the
+// topology phase — identical clocks make the synchronized state absorbing,
+// and the survivors' coupling keeps it locked.
+
+func TestSTSurvivesChurn(t *testing.T) {
+	cfg := fastConfig(40, 1)
+	cfg.FailAt = 600 // after discovery (200) + a few merge phases
+	cfg.FailSet = []int{35, 36, 37, 38, 39}
+	env := mustEnv(t, cfg)
+	res := ST{}.Run(env)
+	if !res.Converged {
+		t.Fatalf("ST with churn did not converge: %v", res)
+	}
+	if env.AliveCount() != 35 {
+		t.Errorf("alive = %d, want 35", env.AliveCount())
+	}
+	// Survivors share one phase.
+	var ref float64
+	first := true
+	for i, d := range env.Devices {
+		if !env.Alive[i] {
+			continue
+		}
+		if first {
+			ref, first = d.Osc.Phase, false
+			continue
+		}
+		if d.Osc.Phase != ref {
+			t.Fatalf("survivor %d phase %v != %v", i, d.Osc.Phase, ref)
+		}
+	}
+}
+
+func TestFSTSurvivesChurn(t *testing.T) {
+	cfg := fastConfig(40, 2)
+	// n=40: joins finish near slot 200+39*8 ≈ 512; convergence needs ~3
+	// more periods, so 600 lands between setup and convergence.
+	cfg.FailAt = 600
+	cfg.FailSet = []int{0, 1} // even the tree root failing is fine post-setup
+	env := mustEnv(t, cfg)
+	res := FST{}.Run(env)
+	if !res.Converged {
+		t.Fatalf("FST with churn did not converge: %v", res)
+	}
+	if env.AliveCount() != 38 {
+		t.Errorf("alive = %d, want 38", env.AliveCount())
+	}
+}
+
+func TestChurnDeferredUntilTopologyDone(t *testing.T) {
+	// FailAt earlier than the topology phase completes: injection waits.
+	cfg := fastConfig(30, 3)
+	cfg.FailAt = 1 // immediately — but the tree needs ~400+ slots
+	cfg.FailSet = []int{29}
+	env := mustEnv(t, cfg)
+	res := ST{}.Run(env)
+	if !res.Converged {
+		t.Fatalf("run did not converge: %v", res)
+	}
+	if env.Alive[29] {
+		t.Error("device 29 should have failed")
+	}
+	// The victim must still have participated in discovery (it was alive
+	// during the topology phase).
+	if len(env.Devices[29].DiscoveredPeers) == 0 {
+		t.Error("victim should have discovered peers before failing")
+	}
+}
+
+func TestFailSetBoundsChecked(t *testing.T) {
+	cfg := fastConfig(10, 4)
+	cfg.FailAt = 500
+	cfg.FailSet = []int{-1, 99, 5} // out-of-range ids ignored
+	env := mustEnv(t, cfg)
+	res := ST{}.Run(env)
+	if !res.Converged {
+		t.Fatal("run did not converge")
+	}
+	if env.AliveCount() != 9 {
+		t.Errorf("alive = %d, want 9 (only id 5 valid)", env.AliveCount())
+	}
+}
+
+func TestNoChurnByDefault(t *testing.T) {
+	env := mustEnv(t, fastConfig(10, 5))
+	ST{}.Run(env)
+	if env.AliveCount() != 10 {
+		t.Error("default run should not kill devices")
+	}
+}

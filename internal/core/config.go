@@ -1,0 +1,206 @@
+// Package core implements the paper's primary contribution: the proposed
+// tree-based distributed firefly proximity/synchronization protocol ("ST")
+// and the prior-art baseline it is evaluated against ("FST", the bio-
+// inspired D2D discovery protocol of Chao et al. [17]).
+//
+// Both protocols run on the same substrate — the slotted radio transport of
+// internal/rach over the Table I channel — and differ only in what the
+// paper says they differ in:
+//
+//   - FST couples a device to *every* PS it hears (whole-graph, mesh
+//     coupling) and performs an O(n) brightness scan per processed pulse.
+//   - ST discovers neighbours via RSSI, organizes devices into subtrees by
+//     heavy-edge fragment merging over RACH2 (Algorithms 1–2, package ghs),
+//     couples only along tree edges within a fragment, and uses the ordered
+//     O(log n) brightness structure (Algorithm 3, package firefly).
+//
+// A Result carries the two quantities the paper's evaluation plots:
+// convergence time in slots (Fig. 3) and total control messages (Fig. 4).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+	"repro/internal/oscillator"
+	"repro/internal/radio"
+	"repro/internal/units"
+)
+
+// Config holds every knob of a protocol run. The zero value is not runnable;
+// start from PaperConfig.
+type Config struct {
+	// N is the number of devices.
+	N int
+	// Area is the deployment rectangle. Fig. 3/4 sweeps hold the paper's
+	// density (50 devices per 100 m × 100 m) by scaling the area with N;
+	// use geo.ScaledSquare.
+	Area geo.Rect
+	// Seed roots all random streams of the run.
+	Seed int64
+
+	// TxPower is the PS transmit power (Table I: 23 dBm).
+	TxPower units.DBm
+	// Threshold is the PS detection threshold (Table I: −95 dBm).
+	Threshold units.DBm
+	// ShadowSigmaDB is the log-normal shadowing σ (Table I: 10 dB).
+	ShadowSigmaDB float64
+	// Fading is the fast-fading model (Table I: UMi NLOS → Rayleigh).
+	Fading radio.Fading
+	// PathLoss is the deterministic model (Table I dual-slope by default).
+	PathLoss radio.PathLoss
+
+	// PeriodSlots is the firefly period T in 1 ms slots.
+	PeriodSlots int
+	// Coupling is the PRC configuration (eq. 5).
+	Coupling oscillator.Coupling
+	// JumpsPerCycle caps PRC jumps between a device's own fires (0 =
+	// unlimited). The default 1 matches slotted implementations (MEMFIS)
+	// that apply one adjustment per frame from the superimposed pulses.
+	JumpsPerCycle int
+	// ListenPhase opens the coupling window: pulses arriving earlier in
+	// the cycle are ignored (RFA/MEMFIS listen near the firing instant).
+	ListenPhase float64
+	// CaptureMarginDB configures same-slot PS collision resolution (see
+	// rach.Transport.CaptureMarginDB). Negative disables collisions.
+	CaptureMarginDB float64
+	// ClockDriftPPM is the standard deviation of per-device clock-rate
+	// offsets in parts per million (0 = ideal clocks, the paper's
+	// assumption). Out-of-coverage UEs run on ±10–20 ppm crystals; the
+	// drift ablation sweeps far beyond that to find the breakdown point.
+	ClockDriftPPM float64
+	// Preambles is the per-codec PRACH preamble pool size (< 2 = one
+	// shared sequence, the default; LTE provisions up to 64). See
+	// rach.Transport.Preambles.
+	Preambles int
+	// CorrelatedChannel switches the stochastic channel terms from
+	// i.i.d.-per-sample (the light Table I reading) to the physical
+	// correlated forms: a static spatially correlated shadowing field
+	// (Gudmundson, 13 m decorrelation) plus block fading with
+	// CoherenceSlots coherence time. Correlation defeats naive RSSI
+	// averaging, so this is the stress setting for the ranging layer.
+	CorrelatedChannel bool
+	// CoherenceSlots is the block-fading coherence time in slots
+	// (default 50 ≈ pedestrian at 2 GHz) when CorrelatedChannel is set.
+	CoherenceSlots int
+	// SINRDetection switches PS detection from the flat Table I threshold
+	// + capture margin to a physical SINR detector over the LTE PRACH
+	// noise floor. The two nearly coincide without interference (see
+	// radio.EffectiveThreshold); under contention the SINR detector is
+	// stricter because sub-threshold arrivals still interfere.
+	SINRDetection bool
+	// SyncWindowSlots is the fire-alignment window defining synchrony.
+	SyncWindowSlots int64
+	// StableRounds is how many consecutive aligned rounds declare
+	// convergence.
+	StableRounds int
+	// MaxSlots caps a run; a run that hasn't converged by then reports
+	// Converged=false.
+	MaxSlots units.Slot
+
+	// DiscoveryPeriods is how many initial periods ST spends purely on
+	// RSSI neighbour discovery before the first merge phase.
+	DiscoveryPeriods int
+	// MergeEveryPeriods is how many periods ST waits between fragment
+	// merge phases (fragments re-synchronize internally in between).
+	MergeEveryPeriods int
+	// ConnectRetryLimit caps per-message RACH2 retransmissions when the
+	// sampled channel drops a merge handshake.
+	ConnectRetryLimit int
+	// FstRoundSlots is the FST baseline's join cadence: one node attaches
+	// to the tree per RACH opportunity, which LTE provisions every few
+	// subframes (default 8 slots ≈ PRACH configuration index 12).
+	FstRoundSlots int
+
+	// Services is the number of distinct service-interest tags; devices
+	// are assigned round-robin. Matching tags drive service discovery.
+	Services int
+
+	// MeshCoupling, when set on the ST protocol, disables tree-restricted
+	// coupling (ablation B: isolate the topology's effect).
+	MeshCoupling bool
+
+	// FireTrace, when non-nil, is invoked for every device fire (after
+	// the slot's cascade settles) — observability for debugging and the
+	// trace tooling. It must not mutate simulation state.
+	FireTrace func(slot units.Slot, device int)
+	// ProgressTrace, when non-nil, is invoked every ProgressEvery slots
+	// during a protocol run (both protocols honour it). Use it to sample
+	// time series — discovery coverage, order parameter — as a run
+	// unfolds. It must not mutate simulation state.
+	ProgressTrace func(slot units.Slot)
+	// ProgressEvery is the sampling interval for ProgressTrace
+	// (0 disables).
+	ProgressEvery units.Slot
+
+	// FailAt, when positive, injects post-setup churn: the devices in
+	// FailSet power off at that slot (no earlier than the protocol's
+	// topology phase completing — failures during tree construction are
+	// out of the protocols' scope, as they are in the paper). Convergence
+	// is then judged over the survivors.
+	FailAt units.Slot
+	// FailSet lists the device ids that fail at FailAt.
+	FailSet []int
+}
+
+// PaperConfig returns the run configuration of Table I for n devices at the
+// paper's density, seeded with seed.
+func PaperConfig(n int, seed int64) Config {
+	return Config{
+		N:    n,
+		Area: geo.ScaledSquare(n, 50, 100),
+		Seed: seed,
+
+		TxPower:       23,
+		Threshold:     -95,
+		ShadowSigmaDB: 10,
+		Fading:        radio.FadingRayleigh,
+		PathLoss:      radio.PaperDualSlope(),
+
+		PeriodSlots:     100,
+		Coupling:        oscillator.WeakCoupling(),
+		JumpsPerCycle:   0,
+		ListenPhase:     0,
+		CaptureMarginDB: 6,
+		SyncWindowSlots: 0,
+		StableRounds:    3,
+		MaxSlots:        400000,
+
+		DiscoveryPeriods:  2,
+		MergeEveryPeriods: 2,
+		ConnectRetryLimit: 5,
+		FstRoundSlots:     8,
+
+		Services: 2,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.N < 1:
+		return fmt.Errorf("core: N=%d < 1", c.N)
+	case c.Area.Width() <= 0 || c.Area.Height() <= 0:
+		return fmt.Errorf("core: empty deployment area %+v", c.Area)
+	case c.PeriodSlots < 2:
+		return fmt.Errorf("core: period %d slots too short", c.PeriodSlots)
+	case c.MaxSlots < units.Slot(c.PeriodSlots):
+		return fmt.Errorf("core: MaxSlots %d shorter than one period", c.MaxSlots)
+	case c.PathLoss == nil:
+		return fmt.Errorf("core: nil path-loss model")
+	case c.StableRounds < 1:
+		return fmt.Errorf("core: StableRounds %d < 1", c.StableRounds)
+	case c.DiscoveryPeriods < 1:
+		return fmt.Errorf("core: DiscoveryPeriods %d < 1", c.DiscoveryPeriods)
+	case c.MergeEveryPeriods < 1:
+		return fmt.Errorf("core: MergeEveryPeriods %d < 1", c.MergeEveryPeriods)
+	case c.FstRoundSlots < 1:
+		return fmt.Errorf("core: FstRoundSlots %d < 1", c.FstRoundSlots)
+	case c.Services < 1:
+		return fmt.Errorf("core: Services %d < 1", c.Services)
+	case !c.Coupling.Converges():
+		return fmt.Errorf("core: coupling α=%v β=%v violates the convergence condition",
+			c.Coupling.Alpha, c.Coupling.Beta)
+	}
+	return nil
+}

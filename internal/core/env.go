@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/geo"
+	"repro/internal/graph"
+	"repro/internal/oscillator"
+	"repro/internal/rach"
+	"repro/internal/radio"
+	"repro/internal/units"
+	"repro/internal/xrand"
+)
+
+// Env is one instantiated simulation world: deployment, channel, transport
+// and devices. Both protocols run over an Env; build a fresh Env per run so
+// stochastic state never leaks between runs.
+type Env struct {
+	Cfg       Config
+	Streams   *xrand.Streams
+	Channel   *radio.Channel
+	Transport *rach.Transport
+	Devices   []*device.Device
+	// Alive tracks powered-on devices; churn injection clears entries.
+	Alive []bool
+}
+
+// AliveCount returns the number of powered-on devices.
+func (e *Env) AliveCount() int {
+	n := 0
+	for _, a := range e.Alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// Fail powers off the configured FailSet (idempotent).
+func (e *Env) Fail() {
+	for _, id := range e.Cfg.FailSet {
+		if id >= 0 && id < len(e.Alive) {
+			e.Alive[id] = false
+		}
+	}
+}
+
+// NewEnv deploys a world from the configuration. Initial oscillator phases
+// are uniform random — the hardest starting condition for synchrony.
+func NewEnv(cfg Config) (*Env, error) {
+	return newEnv(cfg, nil)
+}
+
+// NewEnvAt deploys a world at the given positions instead of drawing them —
+// used by mobility studies that re-run discovery after devices have moved.
+// len(positions) must equal cfg.N.
+func NewEnvAt(cfg Config, positions []geo.Point) (*Env, error) {
+	if len(positions) != cfg.N {
+		return nil, fmt.Errorf("core: %d positions for N=%d", len(positions), cfg.N)
+	}
+	return newEnv(cfg, positions)
+}
+
+func newEnv(cfg Config, positions []geo.Point) (*Env, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	streams := xrand.NewStreams(cfg.Seed)
+	if positions == nil {
+		positions = geo.UniformDeployment(cfg.N, cfg.Area, streams.Get("deployment"))
+	}
+	ch := radio.NewChannel(cfg.PathLoss, cfg.ShadowSigmaDB, cfg.Fading, streams)
+	// Candidate margin: 2σ of shadowing keeps strong positive fades
+	// reachable without probing the whole plane.
+	tr := rach.NewTransport(ch, positions, cfg.TxPower, cfg.Threshold, 2*cfg.ShadowSigmaDB)
+	tr.CaptureMarginDB = cfg.CaptureMarginDB
+	if cfg.Preambles > 1 {
+		tr.Preambles = cfg.Preambles
+		tr.PreambleSrc = streams.Get("preambles")
+	}
+	if cfg.CorrelatedChannel {
+		coherence := cfg.CoherenceSlots
+		if coherence < 1 {
+			coherence = 50
+		}
+		shadow := radio.NewShadowMap(positions, cfg.ShadowSigmaDB, 13, streams.Get("shadowmap"))
+		block := radio.NewBlockFading(coherence, cfg.Fading, streams.Get("blockfading").Int63())
+		model := cfg.PathLoss
+		tx := cfg.TxPower
+		tr.LinkSampler = func(from, to int, d units.Metre, slot units.Slot) units.DBm {
+			p := tx.Sub(model.Loss(d))
+			p = p.Add(units.DB(shadow.LinkShadowDB(from, to)))
+			p = p.Add(units.DB(block.GainDB(from, to, slot)))
+			return p
+		}
+	}
+	if cfg.SINRDetection {
+		tr.SINRMode = true
+		tr.NoiseFloor = radio.NoiseFloor(radio.PRACHBandwidthHz, 9)
+		// Required SINR chosen so the no-interference detection range
+		// matches the Table I threshold (radio.EffectiveThreshold).
+		tr.RequiredSNRDB = float64(cfg.Threshold - tr.NoiseFloor)
+	}
+
+	phaseSrc := streams.Get("phases")
+	driftSrc := streams.Get("drift")
+	devs := make([]*device.Device, cfg.N)
+	for i := range devs {
+		osc := oscillator.New(phaseSrc.Float64(), cfg.PeriodSlots, cfg.Coupling)
+		osc.JumpsPerCycle = cfg.JumpsPerCycle
+		osc.ListenPhase = cfg.ListenPhase
+		if cfg.ClockDriftPPM > 0 {
+			// Clamp to ±3σ so a single pathological crystal cannot
+			// dominate a run.
+			z := driftSrc.Norm()
+			if z > 3 {
+				z = 3
+			}
+			if z < -3 {
+				z = -3
+			}
+			osc.Rate = 1 + cfg.ClockDriftPPM*1e-6*z
+		}
+		devs[i] = device.New(i, positions[i], cfg.TxPower, osc, device.Service(i%cfg.Services))
+	}
+	alive := make([]bool, cfg.N)
+	for i := range alive {
+		alive[i] = true
+	}
+	return &Env{Cfg: cfg, Streams: streams, Channel: ch, Transport: tr, Devices: devs, Alive: alive}, nil
+}
+
+// ReferenceGraph builds the deterministic (zero-fading) proximity graph
+// G(V,E) of Section IV: vertices are devices, edges join pairs whose mean
+// received power meets the threshold, weighted by that power (heavier =
+// stronger PS). It is the ground truth that discovery and the distributed
+// tree are validated against.
+func (e *Env) ReferenceGraph() *graph.Graph {
+	g := graph.New(e.Cfg.N)
+	for i := 0; i < e.Cfg.N; i++ {
+		for _, j := range e.Transport.DeterministicNeighbors(i) {
+			if j <= i {
+				continue // add each undirected edge once
+			}
+			w := float64(e.Transport.MeanRSSI(i, j))
+			_ = g.AddEdge(i, j, w)
+		}
+	}
+	return g
+}
+
+// Phases snapshots all oscillator phases (for order-parameter traces).
+func (e *Env) Phases() []float64 {
+	out := make([]float64, len(e.Devices))
+	for i, d := range e.Devices {
+		out[i] = d.Osc.Phase
+	}
+	return out
+}
+
+// ServiceDiscoveryRatio reports the fraction of same-service pairs of the
+// reference graph's edges that both endpoints have discovered at the
+// application level. 1.0 means every reachable same-interest pair found
+// each other.
+func (e *Env) ServiceDiscoveryRatio() float64 {
+	g := e.ReferenceGraph()
+	total, found := 0, 0
+	for _, edge := range g.Edges() {
+		a, b := e.Devices[edge.U], e.Devices[edge.V]
+		if a.Service != b.Service {
+			continue
+		}
+		total++
+		if a.ServicePeers[b.ID] && b.ServicePeers[a.ID] {
+			found++
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(found) / float64(total)
+}
+
+// linkTrials samples the channel between two devices until a transmission
+// lands or the retry limit is hit, returning the number of transmissions
+// spent. It models the H_Connect retransmission loop of Algorithm 2.
+func (e *Env) linkTrials(from, to int) int {
+	d := units.Metre(e.Transport.Position(from).Dist(e.Transport.Position(to)))
+	limit := e.Cfg.ConnectRetryLimit
+	if limit < 1 {
+		limit = 1
+	}
+	for trial := 1; trial <= limit; trial++ {
+		if e.Channel.Sample(e.Cfg.TxPower, d).AtLeast(e.Cfg.Threshold) {
+			return trial
+		}
+	}
+	return limit
+}

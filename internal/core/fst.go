@@ -1,0 +1,164 @@
+package core
+
+import (
+	"repro/internal/energy"
+	"repro/internal/graph"
+	"repro/internal/oscillator"
+	"repro/internal/rach"
+	"repro/internal/units"
+)
+
+// FST is the baseline: the basic firefly spanning tree of Chao et al. [17]
+// as the paper characterizes it (Fig. 2 shows exactly such a tree). The
+// differences to the proposed ST method are the ones the paper names:
+//
+//   - the tree grows *sequentially* — a single tree rooted at one device
+//     attaches the heaviest outgoing link, one node per RACH opportunity —
+//     instead of merging all subtrees in parallel (O(n) rounds vs O(log n)
+//     phases);
+//   - link weights are the *latest single* RSSI sample, because the
+//     baseline "did not consider how the signal strength will vary ...
+//     when noise or real environment come in picture" (no dB-domain
+//     averaging), so fading can mislead the heavy-edge choice;
+//   - every processed pulse costs an O(n) brightness scan (the basic
+//     Algorithm 3 double loop), versus the ordered structure's O(log n);
+//   - a single RACH codec carries everything, so join handshakes ride the
+//     same codec as sync pulses.
+//
+// Like ST, a node joining the tree adopts the tree's phase through the join
+// handshake (sync-word adoption), and pulse coupling runs along tree edges
+// to hold the structure locked.
+type FST struct{}
+
+// Name implements Protocol.
+func (FST) Name() string { return "FST" }
+
+// Run implements Protocol.
+func (FST) Run(env *Env) Result {
+	cfg := env.Cfg
+	res := Result{Protocol: "FST", N: cfg.N}
+	det := oscillator.NewSyncDetector(cfg.N, cfg.SyncWindowSlots, cfg.StableRounds)
+	opsPerPulse := uint64(cfg.N) // basic Algorithm 3: scan all fireflies
+
+	inTree := make([]bool, cfg.N)
+	var treeEdges []graph.Edge
+	joined := 0
+	// Tree members couple to every PS heard from other members (one
+	// growing fragment); outsiders free-run until they join and adopt.
+	couples := func(sender, receiver int) bool {
+		return inTree[sender] && inTree[receiver]
+	}
+
+	discoverySlots := units.Slot(cfg.DiscoveryPeriods * cfg.PeriodSlots)
+	roundSlots := units.Slot(cfg.FstRoundSlots)
+	if roundSlots < 1 {
+		roundSlots = 1
+	}
+	nextRound := discoverySlots
+	churned := false
+
+	for slot := units.Slot(1); slot <= cfg.MaxSlots; slot++ {
+		fired := stepSlot(env, slot, couples, opsPerPulse, &res.Ops)
+
+		// One join attempt per RACH opportunity.
+		if slot >= nextRound && joined < cfg.N {
+			nextRound = slot + roundSlots
+			if joined == 0 {
+				// The root seeds the tree: by convention the
+				// device with the lowest id.
+				inTree[0] = true
+				joined = 1
+			}
+			u, v, ok := fstBestOutgoing(env, inTree, &res.Ops)
+			if ok {
+				// Join handshake on the single codec: probe and
+				// accept, with channel retries.
+				trials := uint64(env.linkTrials(u, v) + env.linkTrials(v, u))
+				res.Counters.Tx[rach.RACH1] += trials
+				res.Counters.TxBytes[rach.RACH1] += trials * rach.PayloadBytes(rach.KindConnect)
+				res.Counters.Rx[rach.RACH1] += 2
+				inTree[v] = true
+				joined++
+				treeEdges = append(treeEdges, graph.Edge{U: u, V: v, Weight: fstLinkWeight(env, u, v)})
+				// Sync-word adoption: the joiner aligns to the tree.
+				env.Devices[v].Osc.Phase = env.Devices[u].Osc.Phase
+			}
+		}
+
+		// Post-setup churn (see Config.FailAt).
+		if cfg.FailAt > 0 && !churned && slot >= cfg.FailAt && joined == cfg.N {
+			env.Fail()
+			churned = true
+			det = oscillator.NewSyncDetector(env.AliveCount(), cfg.SyncWindowSlots, cfg.StableRounds)
+		}
+
+		// Synchrony only counts once the tree spans every device.
+		if joined == cfg.N {
+			for range fired {
+				if det.OnFire(int64(slot)) {
+					res.Converged = true
+				}
+			}
+		}
+		if res.Converged {
+			_, at := det.Synced()
+			res.ConvergenceSlots = units.Slot(at)
+			break
+		}
+	}
+	if !res.Converged {
+		res.ConvergenceSlots = cfg.MaxSlots
+	}
+
+	tc := env.Transport.Counters()
+	res.Counters.Tx[rach.RACH1] += tc.Tx[rach.RACH1]
+	res.Counters.Rx[rach.RACH1] += tc.Rx[rach.RACH1]
+	res.Counters.TxBytes[rach.RACH1] += tc.TxBytes[rach.RACH1]
+	res.TreeEdges = treeEdges
+	res.TreeWeight = graph.TotalWeight(treeEdges)
+	res.Energy = energy.LTEDefaults().Charge(res.Counters, cfg.N, res.ConvergenceSlots)
+	res.DiscoveredLinks = countDiscoveredLinks(env)
+	res.ServiceDiscovery = env.ServiceDiscoveryRatio()
+	return res
+}
+
+// fstLinkWeight returns the latest observed RSSI on the (u,v) link from
+// whichever direction holds an observation (u's table first).
+func fstLinkWeight(env *Env, u, v int) float64 {
+	if s, ok := env.Devices[u].DiscoveredPeers[v]; ok {
+		return float64(s.Last)
+	}
+	if s, ok := env.Devices[v].DiscoveredPeers[u]; ok {
+		return float64(s.Last)
+	}
+	return 0
+}
+
+// fstBestOutgoing scans every tree member's neighbour table (and every
+// outsider's view toward tree members) for the heaviest edge leaving the
+// tree, ranked by the *latest* RSSI sample. The scan work is charged to the
+// ops counter — this is the baseline's O(n²)-flavoured per-round cost.
+func fstBestOutgoing(env *Env, inTree []bool, ops *uint64) (u, v int, ok bool) {
+	best := -1e18
+	for i, d := range env.Devices {
+		*ops += uint64(len(d.DiscoveredPeers))
+		for peer, stat := range d.DiscoveredPeers {
+			var tu, tv int
+			switch {
+			case inTree[i] && !inTree[peer]:
+				tu, tv = i, peer
+			case !inTree[i] && inTree[peer]:
+				tu, tv = peer, i
+			default:
+				continue
+			}
+			w := float64(stat.Last)
+			// Deterministic tie-break keeps runs reproducible even
+			// in the measure-zero case of equal samples.
+			if !ok || w > best || (w == best && (tu < u || (tu == u && tv < v))) {
+				best, u, v, ok = w, tu, tv, true
+			}
+		}
+	}
+	return u, v, ok
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"repro/internal/device"
+	"repro/internal/rach"
+	"repro/internal/units"
+)
+
+// couplingRule decides whether a receiver's oscillator takes a pulse from a
+// sender. FST couples on everything heard; ST couples along tree edges.
+type couplingRule func(sender, receiver int) bool
+
+// stepSlot advances the whole network one slot: every oscillator ramps, the
+// devices that fire broadcast a PS on RACH1 in the same slot, and the
+// transport resolves same-slot same-codec collisions with the capture model
+// before delivering. Receivers record decoded PSs for discovery and — when
+// the coupling rule admits the sender — apply the PRC. Pulse-triggered
+// fires (absorption) transmit in a follow-up wave within the same slot; the
+// per-oscillator refractory window bounds every device to one fire per
+// slot, so the cascade terminates.
+//
+// opsPerPulse is charged once per delivered pulse and models the brightness
+// ranking work of Algorithm 3 (O(n) for the basic scan, O(log n) for the
+// ordered structure). The returned slice lists the devices that fired.
+func stepSlot(env *Env, slot units.Slot, couples couplingRule, opsPerPulse uint64, ops *uint64) []int {
+	var fired []int
+	for i, d := range env.Devices {
+		if !env.Alive[i] {
+			continue
+		}
+		if d.Osc.Advance(int64(slot)) {
+			fired = append(fired, i)
+		}
+	}
+	service := func(sender int) int { return int(env.Devices[sender].Service) }
+	wave := fired
+	for len(wave) > 0 {
+		var next []int
+		for _, del := range env.Transport.BroadcastAll(wave, rach.RACH1, rach.KindPulse, service, slot) {
+			if !env.Alive[del.To] {
+				continue // powered-off receivers hear nothing
+			}
+			recv := env.Devices[del.To]
+			recv.ObservePS(del.Msg.From, del.Msg.RSSI, device.Service(del.Msg.Service))
+			*ops += opsPerPulse
+			if !couples(del.Msg.From, del.To) {
+				continue
+			}
+			if recv.Osc.OnPulse(int64(slot)) {
+				next = append(next, del.To)
+			}
+		}
+		fired = append(fired, next...)
+		wave = next
+	}
+	if env.Cfg.FireTrace != nil {
+		for _, f := range fired {
+			env.Cfg.FireTrace(slot, f)
+		}
+	}
+	if env.Cfg.ProgressTrace != nil && env.Cfg.ProgressEvery > 0 && slot%env.Cfg.ProgressEvery == 0 {
+		env.Cfg.ProgressTrace(slot)
+	}
+	return fired
+}
+
+// countDiscoveredLinks tallies the directed neighbour-table entries across
+// all devices.
+func countDiscoveredLinks(env *Env) int {
+	total := 0
+	for _, d := range env.Devices {
+		total += len(d.DiscoveredPeers)
+	}
+	return total
+}
+
+// log2ceil returns ceil(log2(n)), minimum 1 — the per-pulse ranking cost in
+// the ordered-tree structure.
+func log2ceil(n int) uint64 {
+	var b uint64 = 1
+	for v := 2; v < n; v *= 2 {
+		b++
+	}
+	return b
+}

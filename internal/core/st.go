@@ -1,0 +1,190 @@
+package core
+
+import (
+	"repro/internal/device"
+	"repro/internal/energy"
+	"repro/internal/ghs"
+	"repro/internal/graph"
+	"repro/internal/oscillator"
+	"repro/internal/rach"
+	"repro/internal/units"
+)
+
+// ST is the paper's proposed protocol (Section IV, Algorithms 1–3):
+//
+//  1. RSSI neighbour discovery: for DiscoveryPeriods periods devices
+//     free-run and broadcast PSs on RACH1; every receiver accumulates
+//     per-peer RSSI statistics (eq. 7–12 give the distance these imply).
+//  2. Heavy-edge fragment merging: every MergeEveryPeriods periods each
+//     fragment picks its heaviest outgoing edge (weight = mean observed
+//     RSSI) and merges across it via the H_Connect handshake on RACH2 —
+//     one ghs.Protocol.Step per merge opportunity. Fragments synchronize
+//     internally along tree edges while merging proceeds, so merged
+//     fragments arrive already coherent.
+//  3. Convergence: when every device fires in the same slot window for
+//     StableRounds consecutive periods, the network is synchronized; the
+//     same PS traffic has populated neighbour and service discovery tables
+//     along the way.
+//
+// Each processed pulse is charged the ordered-structure ranking cost of
+// O(log n) (Algorithm 3's sorted population), versus FST's O(n) scan.
+type ST struct{}
+
+// Name implements Protocol.
+func (ST) Name() string { return "ST" }
+
+// Run implements Protocol.
+func (ST) Run(env *Env) Result {
+	cfg := env.Cfg
+	res := Result{Protocol: "ST", N: cfg.N}
+	det := oscillator.NewSyncDetector(cfg.N, cfg.SyncWindowSlots, cfg.StableRounds)
+	opsPerPulse := log2ceil(cfg.N)
+
+	var tree *ghs.Protocol // nil until discovery completes
+	rach2 := func(kind ghs.MessageKind, from, to, transmissions int) {
+		// Charge the merge-protocol traffic to the RACH2 counters.
+		res.Counters.Tx[rach.RACH2] += uint64(transmissions)
+		res.Counters.TxBytes[rach.RACH2] += uint64(transmissions) * rach.PayloadBytes(ghsKind(kind))
+		res.Counters.Rx[rach.RACH2]++
+	}
+
+	// Coupling rule: a PS couples when sender and receiver are in the
+	// same fragment (the tree's merge floods give every member that
+	// knowledge). PSs are broadcast regardless, so listening to all
+	// same-fragment pulses costs no extra messages — and it keeps a
+	// subtree branch correctable by any majority pulse rather than only
+	// by its single boundary neighbour, which matters under clock drift.
+	// Cross-fragment pulses never couple: each fragment keeps its own
+	// rhythm until H_Connect merges (and phase-adopts) it.
+	couples := func(sender, receiver int) bool {
+		if cfg.MeshCoupling {
+			return true // ablation B: fragment gating removed
+		}
+		if tree == nil {
+			return false // pure discovery: no coupling yet
+		}
+		return tree.SameFragment(sender, receiver)
+	}
+
+	discoverySlots := units.Slot(cfg.DiscoveryPeriods * cfg.PeriodSlots)
+	mergeInterval := units.Slot(cfg.MergeEveryPeriods * cfg.PeriodSlots)
+	nextMerge := discoverySlots
+	churned := false
+
+	for slot := units.Slot(1); slot <= cfg.MaxSlots; slot++ {
+		fired := stepSlot(env, slot, couples, opsPerPulse, &res.Ops)
+
+		// Merge phases run at period boundaries once discovery is done.
+		if slot >= nextMerge && (tree == nil || !tree.Done()) {
+			if tree == nil {
+				tree = ghs.NewProtocol(ghs.Config{
+					Neighbors:  snapshotNeighbors(env),
+					OnMessage:  rach2,
+					LinkTrials: env.linkTrials,
+					// Sync-word phase adoption (MEMFIS-style, the
+					// paper's ref [14]): the fragment whose head is
+					// replaced aligns its clocks to the surviving
+					// fragment's boundary node through the H_Connect
+					// exchange; the decision flood (already charged)
+					// carries the adjustment down the subtree. Tree
+					// coupling then keeps the merged fragment locked.
+					OnMerge: func(edge graph.Edge, winnerBoundary int, adopting []int) {
+						ref := env.Devices[winnerBoundary].Osc.Phase
+						for _, m := range adopting {
+							env.Devices[m].Osc.Phase = ref
+						}
+					},
+				})
+			}
+			tree.Step()
+			nextMerge = slot + mergeInterval
+			if tree.Done() && tree.Fragments() > 1 {
+				// The discovered graph is disconnected: network-wide
+				// synchrony is impossible; report non-convergence
+				// instead of burning the slot budget.
+				break
+			}
+		}
+
+		// Post-setup churn: once the topology is complete, the
+		// configured devices power off and convergence is judged over
+		// the survivors.
+		if cfg.FailAt > 0 && !churned && slot >= cfg.FailAt && tree != nil && tree.Done() {
+			env.Fail()
+			churned = true
+			det = oscillator.NewSyncDetector(env.AliveCount(), cfg.SyncWindowSlots, cfg.StableRounds)
+		}
+
+		// Synchrony only counts once the forest is complete: a lone
+		// fragment firing together is not network-wide convergence.
+		if tree != nil && tree.Done() {
+			for range fired {
+				if det.OnFire(int64(slot)) {
+					res.Converged = true
+				}
+			}
+		}
+		if res.Converged {
+			_, at := det.Synced()
+			res.ConvergenceSlots = units.Slot(at)
+			break
+		}
+	}
+	if !res.Converged {
+		res.ConvergenceSlots = cfg.MaxSlots
+	}
+
+	// RACH1 traffic came through the transport; RACH2 was charged by the
+	// merge hook.
+	tc := env.Transport.Counters()
+	res.Counters.Tx[rach.RACH1] += tc.Tx[rach.RACH1]
+	res.Counters.Rx[rach.RACH1] += tc.Rx[rach.RACH1]
+	res.Counters.TxBytes[rach.RACH1] += tc.TxBytes[rach.RACH1]
+
+	if tree != nil {
+		tr := tree.Result()
+		res.TreeEdges = tr.Edges
+		res.TreePhases = tr.Phases
+		res.TreeWeight = graph.TotalWeight(tr.Edges)
+	}
+	res.Energy = energy.LTEDefaults().Charge(res.Counters, cfg.N, res.ConvergenceSlots)
+	res.DiscoveredLinks = countDiscoveredLinks(env)
+	res.ServiceDiscovery = env.ServiceDiscoveryRatio()
+	return res
+}
+
+// ghsKind maps the merge protocol's message kinds onto the PS framing for
+// byte accounting.
+func ghsKind(k ghs.MessageKind) rach.Kind {
+	switch k {
+	case ghs.MsgReport:
+		return rach.KindReport
+	case ghs.MsgDecision:
+		return rach.KindDecision
+	case ghs.MsgConnect:
+		return rach.KindConnect
+	default:
+		return rach.KindAccept
+	}
+}
+
+// snapshotNeighbors converts the devices' discovered RSSI statistics into
+// the merge protocol's neighbour tables. The weight is the mean observed
+// RSSI in dBm — monotone in PS strength, exactly the paper's "weight of
+// edge is directly proportional to PS strength observed by nodes".
+func snapshotNeighbors(env *Env) [][]ghs.Neighbor {
+	out := make([][]ghs.Neighbor, len(env.Devices))
+	for i, d := range env.Devices {
+		for peer, stat := range d.DiscoveredPeers {
+			out[i] = append(out[i], ghs.Neighbor{Peer: peer, Weight: float64(stat.Mean())})
+		}
+	}
+	return out
+}
+
+// compile-time interface checks
+var (
+	_ Protocol = FST{}
+	_ Protocol = ST{}
+	_          = device.Service(0)
+)

@@ -1,0 +1,172 @@
+package device
+
+import (
+	"math"
+
+	"repro/internal/geo"
+)
+
+// Additional mobility models for the paper's future-work extension ("more
+// realistic scenarios of D2D LTE-A networks"). RandomWaypoint lives in
+// device.go; this file adds the two classics the D2D literature evaluates
+// against: the Manhattan grid (urban street canyons — the WINNER B1
+// street-canyon channel's natural companion) and reference-point group
+// mobility (clusters moving together: pedestrian groups, convoys), which
+// stresses discovery differently because whole neighbourhoods persist while
+// inter-group links churn.
+
+// ManhattanGrid walks a street grid: devices move along horizontal and
+// vertical streets spaced BlockSize apart, continuing straight through each
+// intersection with probability 1−TurnProb and turning otherwise.
+type ManhattanGrid struct {
+	// Area bounds the walk.
+	Area geo.Rect
+	// BlockSize is the street spacing in metres.
+	BlockSize float64
+	// SpeedPerSlot is the distance covered per slot.
+	SpeedPerSlot float64
+	// TurnProb is the per-intersection turn probability.
+	TurnProb float64
+	// Src supplies the turn draws.
+	Src waypointSource
+
+	dir  int // 0=+x 1=-x 2=+y 3=-y
+	init bool
+}
+
+// NewManhattanGrid returns a street walker. The caller's first Step snaps
+// the device onto the nearest street.
+func NewManhattanGrid(area geo.Rect, blockSize, speedPerSlot, turnProb float64, src waypointSource) *ManhattanGrid {
+	if blockSize <= 0 {
+		blockSize = 25
+	}
+	return &ManhattanGrid{Area: area, BlockSize: blockSize, SpeedPerSlot: speedPerSlot, TurnProb: turnProb, Src: src}
+}
+
+// Step implements Mobility.
+func (m *ManhattanGrid) Step(cur geo.Point) geo.Point {
+	if !m.init {
+		cur = m.snap(cur)
+		m.dir = int(m.Src.Uniform(0, 4))
+		m.init = true
+	}
+	next := cur
+	switch m.dir {
+	case 0:
+		next.X += m.SpeedPerSlot
+	case 1:
+		next.X -= m.SpeedPerSlot
+	case 2:
+		next.Y += m.SpeedPerSlot
+	default:
+		next.Y -= m.SpeedPerSlot
+	}
+	// At an intersection (grid-aligned in both axes within a step) or at
+	// the area edge, maybe turn.
+	atEdge := !m.Area.Contains(next)
+	if atEdge || (m.nearGridLine(next.X) && m.nearGridLine(next.Y) && m.Src.Uniform(0, 1) < m.TurnProb) {
+		m.turn(atEdge, cur)
+		return m.Area.Clamp(m.snap(cur))
+	}
+	return m.Area.Clamp(next)
+}
+
+func (m *ManhattanGrid) nearGridLine(v float64) bool {
+	r := math.Mod(v, m.BlockSize)
+	return r < m.SpeedPerSlot || m.BlockSize-r < m.SpeedPerSlot
+}
+
+// snap moves the point onto the nearest street (grid line) along the axis
+// perpendicular to travel.
+func (m *ManhattanGrid) snap(p geo.Point) geo.Point {
+	snapTo := func(v float64) float64 { return math.Round(v/m.BlockSize) * m.BlockSize }
+	if m.dir == 0 || m.dir == 1 {
+		p.Y = snapTo(p.Y)
+	} else {
+		p.X = snapTo(p.X)
+	}
+	return p
+}
+
+func (m *ManhattanGrid) turn(forced bool, cur geo.Point) {
+	// Pick a perpendicular direction (or reverse when forced at an edge
+	// and the perpendicular would leave the area too).
+	var options []int
+	if m.dir == 0 || m.dir == 1 {
+		options = []int{2, 3}
+	} else {
+		options = []int{0, 1}
+	}
+	pick := options[int(m.Src.Uniform(0, 2))%2]
+	if forced {
+		// Reverse is always safe.
+		switch m.dir {
+		case 0:
+			m.dir = 1
+		case 1:
+			m.dir = 0
+		case 2:
+			m.dir = 3
+		default:
+			m.dir = 2
+		}
+		return
+	}
+	m.dir = pick
+}
+
+// GroupMobility is reference-point group mobility (RPGM): a shared group
+// reference point follows a random waypoint walk, and each member jitters
+// around its own offset from the reference. Members of one group stay in
+// proximity of each other for the whole walk.
+type GroupMobility struct {
+	// Area bounds the walk.
+	Area geo.Rect
+	// JitterPerSlot is the member's per-slot wobble around its offset.
+	JitterPerSlot float64
+	// Src supplies the jitter draws.
+	Src interface {
+		Uniform(lo, hi float64) float64
+		Norm() float64
+	}
+
+	ref    *RandomWaypoint
+	refPos geo.Point
+	offset geo.Vec
+}
+
+// NewGroup creates the shared reference walker for one group.
+func NewGroup(area geo.Rect, speedPerSlot float64, src waypointSource) *RandomWaypoint {
+	return NewRandomWaypoint(area, speedPerSlot, src)
+}
+
+// NewGroupMember attaches one member to a group reference walker at the
+// given offset from the reference point.
+func NewGroupMember(area geo.Rect, ref *RandomWaypoint, refStart geo.Point, offset geo.Vec, jitter float64, src interface {
+	Uniform(lo, hi float64) float64
+	Norm() float64
+}) *GroupMobility {
+	return &GroupMobility{
+		Area: area, JitterPerSlot: jitter, Src: src,
+		ref: ref, refPos: refStart, offset: offset,
+	}
+}
+
+// StepGroup advances the shared reference point once per slot; call it once
+// per group per slot, before stepping the members.
+func (g *GroupMobility) StepGroup() {
+	g.refPos = g.ref.Step(g.refPos)
+}
+
+// Step implements Mobility for the member: its position tracks the group
+// reference plus its offset plus jitter. The cur argument is ignored — the
+// member's position is slaved to the group (RPGM semantics).
+func (g *GroupMobility) Step(cur geo.Point) geo.Point {
+	_ = cur
+	target := g.refPos.Add(g.offset)
+	jittered := geo.Point{
+		X: target.X + g.JitterPerSlot*g.Src.Norm(),
+		Y: target.Y + g.JitterPerSlot*g.Src.Norm(),
+	}
+	return g.Area.Clamp(jittered)
+}

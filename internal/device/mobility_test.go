@@ -1,0 +1,101 @@
+package device
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/xrand"
+)
+
+func TestManhattanStaysInAreaAndOnStreets(t *testing.T) {
+	area := geo.Square(200)
+	src := xrand.NewStream(1)
+	m := NewManhattanGrid(area, 25, 0.5, 0.3, src)
+	p := geo.Point{X: 60, Y: 60}
+	onStreet := 0
+	const steps = 20000
+	for i := 0; i < steps; i++ {
+		p = m.Step(p)
+		if !area.Contains(p) {
+			t.Fatalf("walker left the area at %v", p)
+		}
+		// A street walker is grid-aligned in at least one axis.
+		rx := math.Mod(p.X, 25)
+		ry := math.Mod(p.Y, 25)
+		aligned := func(r float64) bool { return r < 0.6 || 25-r < 0.6 }
+		if aligned(rx) || aligned(ry) {
+			onStreet++
+		}
+	}
+	if frac := float64(onStreet) / steps; frac < 0.95 {
+		t.Errorf("walker on-street fraction = %v, want ~1", frac)
+	}
+}
+
+func TestManhattanMoves(t *testing.T) {
+	area := geo.Square(500)
+	src := xrand.NewStream(2)
+	m := NewManhattanGrid(area, 25, 1, 0.25, src)
+	p := geo.Point{X: 250, Y: 250}
+	start := m.Step(p)
+	var travelled float64
+	cur := start
+	for i := 0; i < 5000; i++ {
+		next := m.Step(cur)
+		travelled += cur.Dist(next)
+		cur = next
+	}
+	if travelled < 2000 {
+		t.Errorf("walker covered only %v m in 5000 slots at 1 m/slot", travelled)
+	}
+}
+
+func TestManhattanDefaults(t *testing.T) {
+	m := NewManhattanGrid(geo.Square(100), 0, 0.5, 0.3, xrand.NewStream(3))
+	if m.BlockSize != 25 {
+		t.Errorf("block size default = %v", m.BlockSize)
+	}
+}
+
+func TestGroupMobilityKeepsMembersTogether(t *testing.T) {
+	area := geo.Square(400)
+	walkSrc := xrand.NewStream(4)
+	jitterSrc := xrand.NewStream(5)
+	ref := NewGroup(area, 0.5, walkSrc)
+	start := geo.Point{X: 200, Y: 200}
+
+	// Shared group state: both members must observe the same reference,
+	// so they share one GroupMobility for stepping the group and keep
+	// their own offsets.
+	a := NewGroupMember(area, ref, start, geo.Vec{X: 5, Y: 0}, 0.3, jitterSrc)
+	var pa, pb geo.Point
+	for i := 0; i < 20000; i++ {
+		a.StepGroup()
+		pa = a.Step(pa)
+		// Second member derived from the same reference position.
+		b := &GroupMobility{Area: area, JitterPerSlot: 0.3, Src: jitterSrc, refPos: a.refPos, offset: geo.Vec{X: -5, Y: 0}}
+		pb = b.Step(pb)
+		if !area.Contains(pa) || !area.Contains(pb) {
+			t.Fatalf("member left the area")
+		}
+		if d := pa.Dist(pb); d > 25 {
+			t.Fatalf("group members drifted %v m apart at step %d", d, i)
+		}
+	}
+	// The group itself must have moved.
+	if pa.Dist(start) < 1 && pb.Dist(start) < 1 {
+		t.Log("note: group ended near its start (possible but unusual)")
+	}
+}
+
+func TestGroupMemberTracksReference(t *testing.T) {
+	area := geo.Square(100)
+	ref := NewGroup(area, 1, xrand.NewStream(6))
+	g := NewGroupMember(area, ref, geo.Point{X: 50, Y: 50}, geo.Vec{X: 3, Y: 4}, 0, xrand.NewStream(7))
+	p := g.Step(geo.Point{})
+	want := geo.Point{X: 53, Y: 54}
+	if p.Dist(want) > 1e-9 {
+		t.Errorf("member at %v, want %v (reference + offset, no jitter)", p, want)
+	}
+}

@@ -1,0 +1,303 @@
+// Package discovery implements the classical neighbour-discovery baselines
+// the paper's related-work section surveys ([4]–[9]): the probabilistic
+// birthday protocol (McGlynn & Borbash) and deterministic prime-based
+// duty-cycle schedules (U-Connect-style), plus the always-on periodic
+// beaconing the firefly protocols effectively use. They answer the question
+// the paper's intro raises — the "feasible trade-off between power
+// conservation and device discovery" — with measurable latency/energy
+// numbers on the same radio deployment the main protocols run on.
+//
+// Model: time is slotted; each device is asleep, transmitting, or
+// listening in a slot according to its schedule. A listening device
+// discovers a transmitting device when it is the only in-range transmitter
+// that slot (collisions destroy discovery beacons; no capture — the
+// classical analyses assume the same).
+package discovery
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+	"repro/internal/units"
+	"repro/internal/xrand"
+)
+
+// State is a device's radio state in one slot.
+type State int
+
+const (
+	// Sleep: radio off, no energy beyond baseline.
+	Sleep State = iota
+	// Transmit: sending a discovery beacon.
+	Transmit
+	// Listen: receiving.
+	Listen
+)
+
+// Schedule decides a device's radio state per slot. Implementations must be
+// deterministic given their construction (seeded streams, not global
+// randomness).
+type Schedule interface {
+	// State returns the device's radio state in the given slot.
+	State(device int, slot units.Slot) State
+	// Name identifies the schedule in result tables.
+	Name() string
+	// DutyCycle returns the expected awake fraction (transmit + listen).
+	DutyCycle() float64
+}
+
+// Birthday is the birthday protocol: independently per slot, a device
+// transmits with probability PT, listens with probability PL, and sleeps
+// otherwise. McGlynn & Borbash show the discovery latency of a pair is
+// geometric with success probability PT·PL (+ PL·PT), hence the "birthday"
+// pairing bound.
+type Birthday struct {
+	// PT, PL are the per-slot transmit and listen probabilities.
+	PT, PL float64
+
+	states []*xrand.Stream
+}
+
+// NewBirthday builds a birthday schedule for n devices with the given
+// probabilities, seeded from streams.
+func NewBirthday(n int, pt, pl float64, streams *xrand.Streams) *Birthday {
+	b := &Birthday{PT: pt, PL: pl, states: make([]*xrand.Stream, n)}
+	for i := range b.states {
+		b.states[i] = streams.Get(fmt.Sprintf("birthday-%d", i))
+	}
+	return b
+}
+
+// State implements Schedule. Draws are consumed per call, so callers must
+// ask exactly once per (device, slot) in slot order — the simulator does.
+func (b *Birthday) State(device int, _ units.Slot) State {
+	u := b.states[device].Float64()
+	switch {
+	case u < b.PT:
+		return Transmit
+	case u < b.PT+b.PL:
+		return Listen
+	default:
+		return Sleep
+	}
+}
+
+// Name implements Schedule.
+func (b *Birthday) Name() string { return fmt.Sprintf("birthday(pt=%.2f,pl=%.2f)", b.PT, b.PL) }
+
+// DutyCycle implements Schedule.
+func (b *Birthday) DutyCycle() float64 { return b.PT + b.PL }
+
+// PrimeDuty is a U-Connect-flavoured deterministic schedule: device i is
+// assigned a prime p from Primes (round-robin); it transmits at slots ≡ 0
+// (mod p) and listens at slots ≡ 1..L (mod p). Two devices with coprime
+// periods are guaranteed to overlap within p·q slots (CRT), giving a
+// deterministic worst-case discovery latency — the property the
+// deterministic-protocol line of work trades energy for.
+type PrimeDuty struct {
+	// Primes is the period pool.
+	Primes []int
+	// ListenSlots is L, the listening window length per period.
+	ListenSlots int
+
+	assigned []int
+	offsets  []int
+}
+
+// NewPrimeDuty assigns periods round-robin from primes to n devices. Each
+// device also gets a deterministic phase offset within its period, so
+// same-prime devices do not all transmit in the same slot (which would make
+// them permanently collide — the phase diversity U-Connect relies on).
+func NewPrimeDuty(n int, primes []int, listenSlots int) *PrimeDuty {
+	if len(primes) == 0 {
+		primes = []int{7, 11, 13}
+	}
+	if listenSlots < 1 {
+		listenSlots = 1
+	}
+	p := &PrimeDuty{
+		Primes: primes, ListenSlots: listenSlots,
+		assigned: make([]int, n), offsets: make([]int, n),
+	}
+	for i := range p.assigned {
+		p.assigned[i] = primes[i%len(primes)]
+		// Knuth multiplicative hash spreads offsets across the period.
+		p.offsets[i] = int(uint32(i)*2654435761%uint32(p.assigned[i])) % p.assigned[i]
+	}
+	return p
+}
+
+// State implements Schedule.
+func (p *PrimeDuty) State(device int, slot units.Slot) State {
+	m := (int(slot) + p.offsets[device]) % p.assigned[device]
+	switch {
+	case m == 0:
+		return Transmit
+	case m <= p.ListenSlots:
+		return Listen
+	default:
+		return Sleep
+	}
+}
+
+// Name implements Schedule.
+func (p *PrimeDuty) Name() string {
+	return fmt.Sprintf("prime-duty(%v,L=%d)", p.Primes, p.ListenSlots)
+}
+
+// DutyCycle implements Schedule.
+func (p *PrimeDuty) DutyCycle() float64 {
+	var sum float64
+	for _, prime := range p.Primes {
+		sum += float64(1+p.ListenSlots) / float64(prime)
+	}
+	return sum / float64(len(p.Primes))
+}
+
+// AlwaysOnBeacon is the firefly-style pattern: transmit once per Period
+// (device-specific offset), listen in every other slot. Maximal energy,
+// minimal latency — the implicit baseline of the paper's protocols.
+type AlwaysOnBeacon struct {
+	// Period is the beacon period in slots.
+	Period int
+
+	offsets []int
+}
+
+// NewAlwaysOnBeacon gives each of n devices a random beacon offset. When
+// the period has room (period >= n) offsets are drawn *without*
+// replacement: two devices sharing an offset would transmit simultaneously
+// forever and never hear each other — in the real firefly protocols the
+// coupling dynamics break such ties, which this static schedule cannot.
+func NewAlwaysOnBeacon(n, period int, streams *xrand.Streams) *AlwaysOnBeacon {
+	a := &AlwaysOnBeacon{Period: period, offsets: make([]int, n)}
+	src := streams.Get("beacon-offsets")
+	if period >= n {
+		perm := src.Perm(period)
+		copy(a.offsets, perm[:n])
+	} else {
+		for i := range a.offsets {
+			a.offsets[i] = src.Intn(period)
+		}
+	}
+	return a
+}
+
+// State implements Schedule.
+func (a *AlwaysOnBeacon) State(device int, slot units.Slot) State {
+	if int(slot)%a.Period == a.offsets[device] {
+		return Transmit
+	}
+	return Listen
+}
+
+// Name implements Schedule.
+func (a *AlwaysOnBeacon) Name() string { return fmt.Sprintf("always-on(T=%d)", a.Period) }
+
+// DutyCycle implements Schedule.
+func (a *AlwaysOnBeacon) DutyCycle() float64 { return 1 }
+
+// Result summarizes one discovery simulation.
+type Result struct {
+	// Schedule names the schedule.
+	Schedule string
+	// Links is the number of directed in-range links to discover.
+	Links int
+	// Discovered is how many were discovered before the deadline.
+	Discovered int
+	// MedianSlots, P90Slots are latency percentiles over discovered
+	// links (slot of first successful beacon reception).
+	MedianSlots, P90Slots float64
+	// AwakeSlotsPerDevice is the mean number of awake (tx or listen)
+	// slots per device — the energy proxy the duty-cycling literature
+	// optimizes.
+	AwakeSlotsPerDevice float64
+}
+
+// Simulate runs a discovery simulation: devices at the given positions,
+// in-range pairs defined by radius, states driven by the schedule, until
+// every directed link is discovered or maxSlots elapse.
+func Simulate(positions []geo.Point, radius float64, sched Schedule, maxSlots units.Slot) Result {
+	n := len(positions)
+	grid := geo.NewGrid(positions, radius)
+	// Directed link set: (tx, rx) with rx in range of tx.
+	type link struct{ tx, rx int }
+	pendingOf := make(map[link]bool)
+	for i := 0; i < n; i++ {
+		for _, j := range grid.Neighbors(positions[i], radius, i, nil) {
+			pendingOf[link{tx: i, rx: j}] = true
+		}
+	}
+	total := len(pendingOf)
+	var latencies []float64
+	var awake uint64
+
+	states := make([]State, n)
+	var txList []int
+	for slot := units.Slot(1); slot <= maxSlots && len(pendingOf) > 0; slot++ {
+		txList = txList[:0]
+		for d := 0; d < n; d++ {
+			states[d] = sched.State(d, slot)
+			if states[d] != Sleep {
+				awake++
+			}
+			if states[d] == Transmit {
+				txList = append(txList, d)
+			}
+		}
+		// A listener discovers the transmitter iff it is the only
+		// in-range transmitter this slot.
+		for d := 0; d < n; d++ {
+			if states[d] != Listen {
+				continue
+			}
+			heard := -1
+			count := 0
+			for _, tx := range txList {
+				if positions[d].Dist(positions[tx]) <= radius {
+					heard = tx
+					count++
+					if count > 1 {
+						break
+					}
+				}
+			}
+			if count != 1 {
+				continue
+			}
+			l := link{tx: heard, rx: d}
+			if pendingOf[l] {
+				delete(pendingOf, l)
+				latencies = append(latencies, float64(slot))
+			}
+		}
+	}
+	res := Result{
+		Schedule:            sched.Name(),
+		Links:               total,
+		Discovered:          total - len(pendingOf),
+		AwakeSlotsPerDevice: float64(awake) / float64(n),
+	}
+	res.MedianSlots = percentile(latencies, 50)
+	res.P90Slots = percentile(latencies, 90)
+	return res
+}
+
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	for i := 1; i < len(sorted); i++ { // insertion sort: latencies are near-sorted
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

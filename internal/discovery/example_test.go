@@ -1,0 +1,35 @@
+package discovery_test
+
+import (
+	"fmt"
+
+	"repro/internal/discovery"
+	"repro/internal/geo"
+	"repro/internal/xrand"
+)
+
+// Example compares the awake-time budgets of the discovery schedules the
+// related-work section surveys.
+func Example() {
+	streams := xrand.NewStreams(1)
+	always := discovery.NewAlwaysOnBeacon(10, 100, streams)
+	birthday := discovery.NewBirthday(10, 0.01, 0.05, streams)
+	prime := discovery.NewPrimeDuty(10, []int{7, 11, 13}, 3)
+	fmt.Printf("always-on duty:  %.0f%%\n", 100*always.DutyCycle())
+	fmt.Printf("birthday duty:   %.0f%%\n", 100*birthday.DutyCycle())
+	fmt.Printf("prime-duty duty: %.0f%%\n", 100*prime.DutyCycle())
+	// Output:
+	// always-on duty:  100%
+	// birthday duty:   6%
+	// prime-duty duty: 41%
+}
+
+// ExampleSimulate measures how long an isolated pair takes to discover each
+// other under the birthday protocol.
+func ExampleSimulate() {
+	pts := []geo.Point{{X: 0, Y: 0}, {X: 20, Y: 0}}
+	sched := discovery.NewBirthday(2, 0.1, 0.3, xrand.NewStreams(2))
+	res := discovery.Simulate(pts, 89, sched, 10000)
+	fmt.Println("links discovered:", res.Discovered, "of", res.Links)
+	// Output: links discovered: 2 of 2
+}

@@ -1,0 +1,61 @@
+package energy
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/rach"
+)
+
+func TestChargeArithmetic(t *testing.T) {
+	m := Model{TxPerPS: 2, RxPerDecode: 0.5, IdlePerDeviceSlot: 0.1}
+	var c rach.Counters
+	c.Tx[rach.RACH1] = 10
+	c.Tx[rach.RACH2] = 5
+	c.Rx[rach.RACH1] = 40
+	b := m.Charge(c, 20, 100)
+	if b.TxMJ != 30 {
+		t.Errorf("tx = %v, want 30", b.TxMJ)
+	}
+	if b.RxMJ != 20 {
+		t.Errorf("rx = %v, want 20", b.RxMJ)
+	}
+	if b.IdleMJ != 200 {
+		t.Errorf("idle = %v, want 200", b.IdleMJ)
+	}
+	if b.TotalMJ != 250 {
+		t.Errorf("total = %v, want 250", b.TotalMJ)
+	}
+	if got := b.PerDevice(20); got != 12.5 {
+		t.Errorf("per-device = %v, want 12.5", got)
+	}
+	if b.PerDevice(0) != 0 {
+		t.Error("zero devices should yield 0")
+	}
+}
+
+func TestLTEDefaultsSane(t *testing.T) {
+	m := LTEDefaults()
+	if m.TxPerPS <= m.RxPerDecode || m.RxPerDecode <= m.IdlePerDeviceSlot {
+		t.Error("tx should cost more than rx, rx more than idle")
+	}
+	if m.TxPerPS <= 0 {
+		t.Error("costs must be positive")
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	b := Breakdown{TxMJ: 1, RxMJ: 2, IdleMJ: 3, TotalMJ: 6}
+	s := b.String()
+	if !strings.Contains(s, "6.0 mJ") || !strings.Contains(s, "tx 1.0") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestZeroRunZeroEnergy(t *testing.T) {
+	b := LTEDefaults().Charge(rach.Counters{}, 0, 0)
+	if b.TotalMJ != 0 || math.Signbit(b.TotalMJ) {
+		t.Errorf("empty run energy = %v", b.TotalMJ)
+	}
+}

@@ -1,0 +1,22 @@
+package energy_test
+
+import (
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/rach"
+)
+
+// Example prices a small run: 100 PS transmissions, 300 decodes, 20 devices
+// listening for 1000 slots.
+func Example() {
+	var c rach.Counters
+	c.Tx[rach.RACH1] = 100
+	c.Rx[rach.RACH1] = 300
+	b := energy.LTEDefaults().Charge(c, 20, 1000)
+	fmt.Println(b)
+	fmt.Printf("%.1f mJ per device\n", b.PerDevice(20))
+	// Output:
+	// 1110.0 mJ (tx 80.0, rx 30.0, idle 1000.0)
+	// 55.5 mJ per device
+}

@@ -1,0 +1,158 @@
+// Package eventsim is a small deterministic discrete-event simulation
+// engine: a binary-heap event queue keyed on (slot, sequence) so that events
+// scheduled for the same slot execute in scheduling order, a slotted clock,
+// and optional trace hooks.
+//
+// The protocol layers schedule PS transmissions, merge handshakes and
+// timeouts as events; Table I's 1 ms LTE slot is the time unit.
+package eventsim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Event is a scheduled callback. The callback receives the engine so it can
+// schedule follow-up events.
+type Event struct {
+	// At is the slot the event fires in.
+	At units.Slot
+	// Name labels the event for traces.
+	Name string
+	// Fn is the callback; nil events are skipped.
+	Fn func(*Engine)
+
+	seq   uint64
+	index int
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the simulation engine. The zero value is not usable; call New.
+type Engine struct {
+	now    units.Slot
+	nextSq uint64
+	queue  eventHeap
+	// Trace, when non-nil, is called for every executed event.
+	Trace func(at units.Slot, name string)
+	// processed counts executed events.
+	processed uint64
+}
+
+// New returns an empty engine at slot 0.
+func New() *Engine {
+	e := &Engine{}
+	heap.Init(&e.queue)
+	return e
+}
+
+// Now returns the current simulation slot.
+func (e *Engine) Now() units.Slot { return e.now }
+
+// Processed returns how many events have executed.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns how many events are queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule queues fn to run at the absolute slot at. Scheduling into the
+// past (at < Now) panics — that is always a protocol bug worth failing loud
+// on. Events for the current slot are allowed and run before time advances.
+func (e *Engine) Schedule(at units.Slot, name string, fn func(*Engine)) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("eventsim: scheduling %q at slot %d in the past (now %d)", name, at, e.now))
+	}
+	ev := &Event{At: at, Name: name, Fn: fn, seq: e.nextSq}
+	e.nextSq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After queues fn to run delay slots from now.
+func (e *Engine) After(delay units.Slot, name string, fn func(*Engine)) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.Schedule(e.now+delay, name, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-executed or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 || ev.index >= len(e.queue) || e.queue[ev.index] != ev {
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+}
+
+// Step executes the next event, advancing the clock to its slot. It returns
+// false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		ev.index = -1
+		e.now = ev.At
+		if ev.Fn == nil {
+			continue
+		}
+		if e.Trace != nil {
+			e.Trace(ev.At, ev.Name)
+		}
+		e.processed++
+		ev.Fn(e)
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or the clock passes maxSlot.
+// It returns the number of events executed.
+func (e *Engine) Run(maxSlot units.Slot) uint64 {
+	start := e.processed
+	for len(e.queue) > 0 && e.queue[0].At <= maxSlot {
+		e.Step()
+	}
+	return e.processed - start
+}
+
+// RunUntil executes events until stop returns true, the queue drains, or the
+// clock passes maxSlot. The predicate is evaluated after each event.
+func (e *Engine) RunUntil(maxSlot units.Slot, stop func() bool) {
+	for len(e.queue) > 0 && e.queue[0].At <= maxSlot {
+		if !e.Step() {
+			return
+		}
+		if stop() {
+			return
+		}
+	}
+}

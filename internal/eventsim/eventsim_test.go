@@ -1,0 +1,205 @@
+package eventsim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestFIFOWithinSlot(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, "ev", func(*Engine) { order = append(order, i) })
+	}
+	e.Run(10)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-slot events out of order: %v", order)
+		}
+	}
+}
+
+func TestTimeOrdering(t *testing.T) {
+	e := New()
+	var at []units.Slot
+	e.Schedule(30, "c", func(en *Engine) { at = append(at, en.Now()) })
+	e.Schedule(10, "a", func(en *Engine) { at = append(at, en.Now()) })
+	e.Schedule(20, "b", func(en *Engine) { at = append(at, en.Now()) })
+	e.Run(100)
+	if !sort.SliceIsSorted(at, func(i, j int) bool { return at[i] < at[j] }) {
+		t.Errorf("events executed out of time order: %v", at)
+	}
+	if len(at) != 3 {
+		t.Errorf("executed %d events, want 3", len(at))
+	}
+}
+
+func TestOrderingProperty(t *testing.T) {
+	f := func(slots []uint8) bool {
+		e := New()
+		var seen []units.Slot
+		for _, s := range slots {
+			e.Schedule(units.Slot(s), "x", func(en *Engine) { seen = append(seen, en.Now()) })
+		}
+		e.Run(1000)
+		if len(seen) != len(slots) {
+			return false
+		}
+		return sort.SliceIsSorted(seen, func(i, j int) bool { return seen[i] < seen[j] })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScheduleInPastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(10, "a", func(*Engine) {})
+	e.Run(100)
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past should panic")
+		}
+	}()
+	e.Schedule(5, "late", func(*Engine) {})
+}
+
+func TestAfter(t *testing.T) {
+	e := New()
+	var firedAt units.Slot = -1
+	e.Schedule(10, "setup", func(en *Engine) {
+		en.After(7, "later", func(en2 *Engine) { firedAt = en2.Now() })
+	})
+	e.Run(100)
+	if firedAt != 17 {
+		t.Errorf("After(7) from slot 10 fired at %d, want 17", firedAt)
+	}
+	// Negative delay clamps to zero.
+	e2 := New()
+	ran := false
+	e2.After(-5, "now", func(*Engine) { ran = true })
+	e2.Run(0)
+	if !ran {
+		t.Error("After with negative delay should run at current slot")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	ran := false
+	ev := e.Schedule(5, "dead", func(*Engine) { ran = true })
+	e.Cancel(ev)
+	e.Run(100)
+	if ran {
+		t.Error("cancelled event ran")
+	}
+	// Double-cancel and cancel-after-run are no-ops.
+	e.Cancel(ev)
+	e.Cancel(nil)
+	ev2 := e.Schedule(e.Now()+1, "alive", func(*Engine) {})
+	e.Run(200)
+	e.Cancel(ev2) // already executed
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	e := New()
+	var got []string
+	a := e.Schedule(1, "a", func(*Engine) { got = append(got, "a") })
+	e.Schedule(2, "b", func(*Engine) { got = append(got, "b") })
+	e.Schedule(3, "c", func(*Engine) { got = append(got, "c") })
+	e.Cancel(a)
+	e.Run(10)
+	if len(got) != 2 || got[0] != "b" || got[1] != "c" {
+		t.Errorf("got %v, want [b c]", got)
+	}
+}
+
+func TestRunRespectsMaxSlot(t *testing.T) {
+	e := New()
+	count := 0
+	for s := units.Slot(1); s <= 100; s++ {
+		e.Schedule(s, "tick", func(*Engine) { count++ })
+	}
+	n := e.Run(50)
+	if n != 50 || count != 50 {
+		t.Errorf("Run(50) executed %d events (count=%d), want 50", n, count)
+	}
+	if e.Pending() != 50 {
+		t.Errorf("Pending = %d, want 50", e.Pending())
+	}
+	if e.Now() != 50 {
+		t.Errorf("Now = %d, want 50", e.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	count := 0
+	for s := units.Slot(1); s <= 100; s++ {
+		e.Schedule(s, "tick", func(*Engine) { count++ })
+	}
+	e.RunUntil(1000, func() bool { return count >= 10 })
+	if count != 10 {
+		t.Errorf("RunUntil stopped at count=%d, want 10", count)
+	}
+}
+
+func TestStepEmptyQueue(t *testing.T) {
+	e := New()
+	if e.Step() {
+		t.Error("Step on empty queue should return false")
+	}
+}
+
+func TestNilFnSkipped(t *testing.T) {
+	e := New()
+	e.Schedule(1, "nil", nil)
+	ran := false
+	e.Schedule(2, "real", func(*Engine) { ran = true })
+	if !e.Step() {
+		t.Fatal("Step should execute the real event, skipping the nil one")
+	}
+	if !ran {
+		t.Error("real event did not run")
+	}
+	if e.Processed() != 1 {
+		t.Errorf("Processed = %d, want 1 (nil events don't count)", e.Processed())
+	}
+}
+
+func TestTraceHook(t *testing.T) {
+	e := New()
+	var traced []string
+	e.Trace = func(at units.Slot, name string) { traced = append(traced, name) }
+	e.Schedule(1, "first", func(*Engine) {})
+	e.Schedule(2, "second", func(*Engine) {})
+	e.Run(10)
+	if len(traced) != 2 || traced[0] != "first" || traced[1] != "second" {
+		t.Errorf("trace = %v", traced)
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := New()
+	var order []string
+	e.Schedule(1, "a", func(en *Engine) {
+		order = append(order, "a")
+		en.Schedule(1, "a-follow", func(*Engine) { order = append(order, "a-follow") })
+		en.Schedule(3, "a-later", func(*Engine) { order = append(order, "a-later") })
+	})
+	e.Schedule(2, "b", func(*Engine) { order = append(order, "b") })
+	e.Run(10)
+	want := []string{"a", "a-follow", "b", "a-later"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}

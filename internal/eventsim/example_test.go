@@ -1,0 +1,23 @@
+package eventsim_test
+
+import (
+	"fmt"
+
+	"repro/internal/eventsim"
+)
+
+// Example schedules a handshake: a probe at slot 10 whose handler schedules
+// the reply two slots later.
+func Example() {
+	e := eventsim.New()
+	e.Schedule(10, "probe", func(en *eventsim.Engine) {
+		fmt.Println("probe at", en.Now())
+		en.After(2, "accept", func(en2 *eventsim.Engine) {
+			fmt.Println("accept at", en2.Now())
+		})
+	})
+	e.Run(100)
+	// Output:
+	// probe at 10
+	// accept at 12
+}

@@ -1,0 +1,313 @@
+// Package experiments contains the drivers that regenerate every table and
+// figure of the paper's evaluation (Section V), plus the ablations listed in
+// DESIGN.md. Each driver returns a metrics.Table whose rows are the series
+// the paper plots, so `d2dsim` can print them or dump CSV for plotting.
+//
+// Runs fan out over a worker pool (one goroutine per CPU by default); every
+// (size, seed, protocol) job builds its own Env from a derived seed, so
+// results are bit-identical regardless of scheduling.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/asciichart"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/units"
+)
+
+// Options configures a sweep.
+type Options struct {
+	// Sizes are the device counts to sweep (Fig. 3/4 x-axis).
+	Sizes []int
+	// Seeds is the number of repetitions per size.
+	Seeds int
+	// BaseSeed offsets the derived per-run seeds.
+	BaseSeed int64
+	// MaxSlots overrides the per-run slot cap (0 keeps the default).
+	MaxSlots units.Slot
+	// Workers bounds the worker pool (0 = NumCPU).
+	Workers int
+	// Configure, when non-nil, post-processes each run's Config (used by
+	// the ablations).
+	Configure func(*core.Config)
+}
+
+// DefaultOptions mirrors the paper's sweep: 50 to 1000 devices at the
+// Table I density, five seeds per point.
+func DefaultOptions() Options {
+	return Options{
+		Sizes:    []int{50, 100, 200, 400, 600, 800, 1000},
+		Seeds:    5,
+		BaseSeed: 1,
+	}
+}
+
+// Row is one sweep point: per-protocol summaries across seeds.
+type Row struct {
+	N          int
+	TimeFST    metrics.Summary // convergence slots
+	TimeST     metrics.Summary
+	MsgFST     metrics.Summary // total control messages
+	MsgST      metrics.Summary
+	OpsFST     metrics.Summary // ranking operations
+	OpsST      metrics.Summary
+	EnergyFST  metrics.Summary // total battery cost, mJ
+	EnergyST   metrics.Summary
+	ConvFST    int // converged runs out of Seeds
+	ConvST     int
+	TreePhases metrics.Summary // ST merge phases
+	// PTime, PMsg are two-sided Mann–Whitney p-values for the FST-vs-ST
+	// convergence-time and message-count comparisons at this size.
+	PTime, PMsg float64
+}
+
+type job struct {
+	n     int
+	seed  int64
+	proto core.Protocol
+}
+
+type outcome struct {
+	n   int
+	fst bool
+	res core.Result
+}
+
+// RunSweep executes the sweep and returns one row per size, ordered by N.
+func RunSweep(opts Options) ([]Row, error) {
+	if len(opts.Sizes) == 0 || opts.Seeds < 1 {
+		return nil, fmt.Errorf("experiments: empty sweep")
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+
+	var jobs []job
+	for _, n := range opts.Sizes {
+		for s := 0; s < opts.Seeds; s++ {
+			seed := opts.BaseSeed + int64(s)
+			jobs = append(jobs, job{n: n, seed: seed, proto: core.FST{}})
+			jobs = append(jobs, job{n: n, seed: seed, proto: core.ST{}})
+		}
+	}
+
+	jobCh := make(chan job)
+	outCh := make(chan outcome, len(jobs))
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				cfg := core.PaperConfig(j.n, j.seed)
+				if opts.MaxSlots > 0 {
+					cfg.MaxSlots = opts.MaxSlots
+				}
+				if opts.Configure != nil {
+					opts.Configure(&cfg)
+				}
+				env, err := core.NewEnv(cfg)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				res := j.proto.Run(env)
+				outCh <- outcome{n: j.n, fst: j.proto.Name() == "FST", res: res}
+			}
+		}()
+	}
+	for _, j := range jobs {
+		jobCh <- j
+	}
+	close(jobCh)
+	wg.Wait()
+	close(outCh)
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+
+	type acc struct {
+		tFST, tST, mFST, mST, oFST, oST, eFST, eST, phases []float64
+		cFST, cST                                          int
+	}
+	byN := make(map[int]*acc)
+	for o := range outCh {
+		a := byN[o.n]
+		if a == nil {
+			a = &acc{}
+			byN[o.n] = a
+		}
+		t := float64(o.res.ConvergenceSlots)
+		m := float64(o.res.Counters.TotalTx())
+		ops := float64(o.res.Ops)
+		if o.fst {
+			a.tFST = append(a.tFST, t)
+			a.mFST = append(a.mFST, m)
+			a.oFST = append(a.oFST, ops)
+			a.eFST = append(a.eFST, o.res.Energy.TotalMJ)
+			if o.res.Converged {
+				a.cFST++
+			}
+		} else {
+			a.tST = append(a.tST, t)
+			a.mST = append(a.mST, m)
+			a.oST = append(a.oST, ops)
+			a.eST = append(a.eST, o.res.Energy.TotalMJ)
+			a.phases = append(a.phases, float64(o.res.TreePhases))
+			if o.res.Converged {
+				a.cST++
+			}
+		}
+	}
+
+	rows := make([]Row, 0, len(byN))
+	for n, a := range byN {
+		_, pTime := metrics.MannWhitneyU(a.tFST, a.tST)
+		_, pMsg := metrics.MannWhitneyU(a.mFST, a.mST)
+		rows = append(rows, Row{
+			PTime:      pTime,
+			PMsg:       pMsg,
+			N:          n,
+			TimeFST:    metrics.Summarize(a.tFST),
+			TimeST:     metrics.Summarize(a.tST),
+			MsgFST:     metrics.Summarize(a.mFST),
+			MsgST:      metrics.Summarize(a.mST),
+			OpsFST:     metrics.Summarize(a.oFST),
+			OpsST:      metrics.Summarize(a.oST),
+			EnergyFST:  metrics.Summarize(a.eFST),
+			EnergyST:   metrics.Summarize(a.eST),
+			ConvFST:    a.cFST,
+			ConvST:     a.cST,
+			TreePhases: metrics.Summarize(a.phases),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].N < rows[j].N })
+	return rows, nil
+}
+
+// Fig3Table renders the convergence-time comparison (Fig. 3): slots (= ms)
+// to network-wide synchrony per method and scale.
+func Fig3Table(rows []Row) *metrics.Table {
+	t := metrics.NewTable(
+		"Fig. 3 — Convergence time vs. scale (slots = ms; mean ± 95% CI)",
+		"nodes", "FST mean", "FST ±CI", "ST mean", "ST ±CI", "ST/FST", "p(MW)", "conv FST", "conv ST",
+	)
+	for _, r := range rows {
+		ratio := 0.0
+		if r.TimeFST.Mean > 0 {
+			ratio = r.TimeST.Mean / r.TimeFST.Mean
+		}
+		t.AddRow(r.N, r.TimeFST.Mean, r.TimeFST.CI95(), r.TimeST.Mean, r.TimeST.CI95(),
+			ratio, r.PTime,
+			fmt.Sprintf("%d/%d", r.ConvFST, r.TimeFST.N), fmt.Sprintf("%d/%d", r.ConvST, r.TimeST.N))
+	}
+	return t
+}
+
+// Fig4Table renders the message-overhead comparison (Fig. 4): total control
+// messages (RACH1 + RACH2 transmissions) until convergence.
+func Fig4Table(rows []Row) *metrics.Table {
+	t := metrics.NewTable(
+		"Fig. 4 — Control messages until convergence (mean ± 95% CI)",
+		"nodes", "FST mean", "FST ±CI", "ST mean", "ST ±CI", "ST/FST", "p(MW)",
+	)
+	for _, r := range rows {
+		ratio := 0.0
+		if r.MsgFST.Mean > 0 {
+			ratio = r.MsgST.Mean / r.MsgFST.Mean
+		}
+		t.AddRow(r.N, r.MsgFST.Mean, r.MsgFST.CI95(), r.MsgST.Mean, r.MsgST.CI95(), ratio, r.PMsg)
+	}
+	return t
+}
+
+// OpsTable renders the ranking-work comparison backing the O(n²) vs
+// O(n log n) complexity discussion.
+func OpsTable(rows []Row) *metrics.Table {
+	t := metrics.NewTable(
+		"Ranking operations until convergence (basic scan vs ordered structure)",
+		"nodes", "FST ops", "ST ops", "FST/ST",
+	)
+	for _, r := range rows {
+		ratio := 0.0
+		if r.OpsST.Mean > 0 {
+			ratio = r.OpsFST.Mean / r.OpsST.Mean
+		}
+		t.AddRow(r.N, r.OpsFST.Mean, r.OpsST.Mean, ratio)
+	}
+	return t
+}
+
+// EnergyTable renders the battery-cost comparison (extension: the paper's
+// power-saving motivation made measurable, per-device mJ to convergence).
+func EnergyTable(rows []Row) *metrics.Table {
+	t := metrics.NewTable(
+		"Energy to convergence (LTE UE model; per-device mJ)",
+		"nodes", "FST mJ/dev", "ST mJ/dev", "ST/FST",
+	)
+	for _, r := range rows {
+		f := r.EnergyFST.Mean / float64(r.N)
+		s := r.EnergyST.Mean / float64(r.N)
+		ratio := 0.0
+		if f > 0 {
+			ratio = s / f
+		}
+		t.AddRow(r.N, f, s, ratio)
+	}
+	return t
+}
+
+// Fig3Chart renders the convergence-time sweep as a terminal line chart.
+func Fig3Chart(rows []Row) *asciichart.Chart {
+	return sweepChart(rows, "Fig. 3 — Convergence time (slots) vs. number of nodes", false,
+		func(r Row) (float64, float64) { return r.TimeFST.Mean, r.TimeST.Mean })
+}
+
+// Fig4Chart renders the message-overhead sweep as a terminal line chart
+// (log y-axis: the series span orders of magnitude).
+func Fig4Chart(rows []Row) *asciichart.Chart {
+	return sweepChart(rows, "Fig. 4 — Control messages vs. number of nodes (log scale)", true,
+		func(r Row) (float64, float64) { return r.MsgFST.Mean, r.MsgST.Mean })
+}
+
+func sweepChart(rows []Row, title string, logY bool, pick func(Row) (fst, st float64)) *asciichart.Chart {
+	c := &asciichart.Chart{Title: title, LogY: logY, Height: 18, Width: 66}
+	fst := asciichart.Series{Name: "FST (existing)"}
+	st := asciichart.Series{Name: "ST (proposed)"}
+	for _, r := range rows {
+		c.XLabels = append(c.XLabels, fmt.Sprintf("%d", r.N))
+		f, s := pick(r)
+		fst.Values = append(fst.Values, f)
+		st.Values = append(st.Values, s)
+	}
+	c.Series = []asciichart.Series{fst, st}
+	return c
+}
+
+// TableI renders the live simulation parameters — regenerating the paper's
+// Table I from the actual configuration in use rather than from prose.
+func TableI() *metrics.Table {
+	cfg := core.PaperConfig(50, 1)
+	t := metrics.NewTable("Table I — Simulation parameters", "Parameter", "Details")
+	t.AddRow("Device Power", fmt.Sprintf("%v", cfg.TxPower))
+	t.AddRow("Threshold", fmt.Sprintf("%v", cfg.Threshold))
+	t.AddRow("Device Density", fmt.Sprintf("%d devices in %.0f m*%.0f m areas",
+		cfg.N, cfg.Area.Width(), cfg.Area.Height()))
+	t.AddRow("Fast Fading", cfg.Fading.String())
+	t.AddRow("Shadowing Standard Deviation", fmt.Sprintf("%.0f dB", cfg.ShadowSigmaDB))
+	t.AddRow("Time Slot", fmt.Sprintf("%.0f ms", units.SlotDurationMS))
+	t.AddRow("Propagation Model in dB", "PL = 4.35 + 25log10(d) if d < 6; PL = 40.0 + 40log10(d) otherwise")
+	t.AddRow("Firefly Period", fmt.Sprintf("%d slots", cfg.PeriodSlots))
+	t.AddRow("PRC Coupling", fmt.Sprintf("alpha=%.4f beta=%.4f", cfg.Coupling.Alpha, cfg.Coupling.Beta))
+	t.AddRow("Capture Margin", fmt.Sprintf("%.0f dB", cfg.CaptureMarginDB))
+	return t
+}

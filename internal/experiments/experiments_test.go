@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// smallOptions keeps sweep tests fast: tiny sizes, two seeds.
+func smallOptions() Options {
+	return Options{
+		Sizes:    []int{20, 40},
+		Seeds:    2,
+		BaseSeed: 1,
+		MaxSlots: units.Slot(60000),
+	}
+}
+
+func TestRunSweepShape(t *testing.T) {
+	rows, err := RunSweep(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	if rows[0].N != 20 || rows[1].N != 40 {
+		t.Errorf("rows not ordered by N: %d, %d", rows[0].N, rows[1].N)
+	}
+	for _, r := range rows {
+		if r.TimeFST.N != 2 || r.TimeST.N != 2 {
+			t.Errorf("n=%d: wrong repetition count %d/%d", r.N, r.TimeFST.N, r.TimeST.N)
+		}
+		if r.ConvFST != 2 || r.ConvST != 2 {
+			t.Errorf("n=%d: convergence %d/%d, want 2/2", r.N, r.ConvFST, r.ConvST)
+		}
+		if r.MsgFST.Mean <= 0 || r.MsgST.Mean <= 0 {
+			t.Errorf("n=%d: zero messages", r.N)
+		}
+		if r.TreePhases.Mean < 1 {
+			t.Errorf("n=%d: no merge phases recorded", r.N)
+		}
+	}
+}
+
+func TestRunSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	opts := smallOptions()
+	opts.Workers = 1
+	serial, err := RunSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 4
+	parallel, err := RunSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i].TimeFST.Mean != parallel[i].TimeFST.Mean ||
+			serial[i].MsgST.Mean != parallel[i].MsgST.Mean {
+			t.Errorf("row %d differs between 1 and 4 workers", i)
+		}
+	}
+}
+
+func TestRunSweepEmpty(t *testing.T) {
+	if _, err := RunSweep(Options{}); err == nil {
+		t.Error("empty sweep should error")
+	}
+	if _, err := RunSweep(Options{Sizes: []int{10}, Seeds: 0}); err == nil {
+		t.Error("zero seeds should error")
+	}
+}
+
+func TestRunSweepConfigureHook(t *testing.T) {
+	opts := smallOptions()
+	opts.Sizes = []int{20}
+	opts.Workers = 1 // serial: the counter below is unsynchronized
+	called := 0
+	opts.Configure = func(c *core.Config) { called++; c.StableRounds = 2 }
+	rows, err := RunSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if called != 4 { // 1 size x 2 seeds x 2 protocols
+		t.Errorf("Configure called %d times, want 4", called)
+	}
+	if len(rows) != 1 {
+		t.Errorf("rows = %d", len(rows))
+	}
+}
+
+func TestFigureTables(t *testing.T) {
+	rows, err := RunSweep(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := Fig3Table(rows).Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Fig. 3") || !strings.Contains(b.String(), "20") {
+		t.Errorf("Fig3 table wrong: %q", b.String())
+	}
+	b.Reset()
+	if err := Fig4Table(rows).Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Fig. 4") {
+		t.Error("Fig4 table missing title")
+	}
+	b.Reset()
+	if err := OpsTable(rows).Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Ranking operations") {
+		t.Error("Ops table missing title")
+	}
+}
+
+func TestTableIContents(t *testing.T) {
+	var b strings.Builder
+	if err := TableI().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"23.00 dBm", "-95.00 dBm", "50 devices in 100 m*100 m areas",
+		"UMi (NLOS)", "10 dB", "1 ms",
+		"PL = 4.35 + 25log10(d) if d < 6",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig2Tree(t *testing.T) {
+	f, err := Fig2Tree(17, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Res.TreeEdges) != 16 {
+		t.Fatalf("17-UE tree has %d edges, want 16", len(f.Res.TreeEdges))
+	}
+	if len(f.Depth) != 17 {
+		t.Errorf("depth map covers %d nodes, want 17", len(f.Depth))
+	}
+	out := f.Render()
+	if !strings.Contains(out, "[head]") || !strings.Contains(out, "UE") {
+		t.Errorf("render missing structure:\n%s", out)
+	}
+	// Every device appears in the rendering.
+	for i := 0; i < 17; i++ {
+		if !strings.Contains(out, "UE"+itoa(i)) {
+			t.Errorf("UE%d missing from rendering", i)
+		}
+	}
+	if _, err := Fig2Tree(1, 1); err == nil {
+		t.Error("n=1 should error")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}
+
+func TestAblationShadowing(t *testing.T) {
+	tb, err := AblationShadowing(30, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 3 {
+		t.Errorf("shadowing ablation rows = %d, want 3", tb.Rows())
+	}
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Ablation A") {
+		t.Error("missing title")
+	}
+}
+
+func TestAblationTopology(t *testing.T) {
+	tb, err := AblationTopology(30, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 2 {
+		t.Errorf("topology ablation rows = %d, want 2", tb.Rows())
+	}
+}
+
+func TestAblationSearch(t *testing.T) {
+	tb, err := AblationSearch([]int{16, 64}, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 2 {
+		t.Errorf("search ablation rows = %d, want 2", tb.Rows())
+	}
+	var b strings.Builder
+	if err := tb.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "speedup") {
+		t.Error("CSV missing header")
+	}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Fig2Result carries a regenerated "instance of basic firefly spanning tree"
+// (Fig. 2): the deployment, the heavy-edge tree the ST protocol built over
+// it, and the fragment head it is rooted at.
+type Fig2Result struct {
+	Res   core.Result
+	Env   *core.Env
+	Root  int
+	Depth map[int]int
+}
+
+// Fig2Tree runs the ST protocol on a Fig. 2-sized deployment (17 UEs, per
+// the paper's illustration) and returns the resulting tree.
+func Fig2Tree(n int, seed int64) (*Fig2Result, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("experiments: fig2 needs at least 2 devices")
+	}
+	cfg := core.PaperConfig(n, seed)
+	env, err := core.NewEnv(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := core.ST{}.Run(env)
+	if len(res.TreeEdges) == 0 {
+		return nil, fmt.Errorf("experiments: no tree built (disconnected deployment?)")
+	}
+	// Root at the endpoint of the heaviest edge (the paper's "heavy edge"
+	// intuition); BFS depths for rendering.
+	root := res.TreeEdges[0].U
+	bestW := res.TreeEdges[0].Weight
+	for _, e := range res.TreeEdges {
+		if e.Weight > bestW {
+			bestW, root = e.Weight, e.U
+		}
+	}
+	adj := make(map[int][]graph.Edge)
+	for _, e := range res.TreeEdges {
+		adj[e.U] = append(adj[e.U], e)
+		adj[e.V] = append(adj[e.V], graph.Edge{U: e.V, V: e.U, Weight: e.Weight})
+	}
+	depth := map[int]int{root: 0}
+	queue := []int{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range adj[u] {
+			if _, seen := depth[e.V]; !seen {
+				depth[e.V] = depth[u] + 1
+				queue = append(queue, e.V)
+			}
+		}
+	}
+	return &Fig2Result{Res: res, Env: env, Root: root, Depth: depth}, nil
+}
+
+// Render draws the tree as indented ASCII, children sorted by device id,
+// each edge annotated with its weight (mean observed RSSI in dBm).
+func (f *Fig2Result) Render() string {
+	adj := make(map[int][]graph.Edge)
+	for _, e := range f.Res.TreeEdges {
+		adj[e.U] = append(adj[e.U], e)
+		adj[e.V] = append(adj[e.V], graph.Edge{U: e.V, V: e.U, Weight: e.Weight})
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Firefly spanning tree (%d UEs, %d edges, total weight %.1f dBm-sum)\n",
+		len(f.Env.Devices), len(f.Res.TreeEdges), f.Res.TreeWeight)
+	var walk func(u, parent, indent int)
+	walk = func(u, parent, indent int) {
+		pos := f.Env.Devices[u].Pos
+		if parent < 0 {
+			fmt.Fprintf(&b, "UE%d %v  [head]\n", u, pos)
+		}
+		children := append([]graph.Edge(nil), adj[u]...)
+		sort.Slice(children, func(i, j int) bool { return children[i].V < children[j].V })
+		for _, e := range children {
+			if e.V == parent {
+				continue
+			}
+			fmt.Fprintf(&b, "%s└─ UE%d %v  (PS %.1f dBm)\n",
+				strings.Repeat("   ", indent+1), e.V, f.Env.Devices[e.V].Pos, e.Weight)
+			walk(e.V, u, indent+1)
+		}
+	}
+	walk(f.Root, -1, 0)
+	return b.String()
+}

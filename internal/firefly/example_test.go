@@ -1,0 +1,32 @@
+package firefly_test
+
+import (
+	"fmt"
+
+	"repro/internal/firefly"
+	"repro/internal/xrand"
+)
+
+// ExampleRunOrdered optimizes the sphere function with the paper's
+// O(n log n) ordered variant of Algorithm 3.
+func ExampleRunOrdered() {
+	p := firefly.DefaultParams(30, 2, -10, 10)
+	p.Iterations = 120
+	res, err := firefly.RunOrdered(p, firefly.Sphere([]float64{2, -3}), xrand.NewStream(1))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("found the optimum:", res.BestIntensity > -0.5)
+	// Output: found the optimum: true
+}
+
+// ExampleRun_interactions shows the complexity gap the paper claims: the
+// basic double loop performs n(n−1) pairwise interactions per iteration.
+func ExampleRun_interactions() {
+	p := firefly.DefaultParams(32, 2, -5, 5)
+	p.Iterations = 1
+	res, _ := firefly.Run(p, firefly.Sphere([]float64{0, 0}), xrand.NewStream(2))
+	fmt.Println(res.Interactions)
+	// Output: 992
+}

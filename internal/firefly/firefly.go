@@ -1,0 +1,265 @@
+// Package firefly implements Yang's firefly metaheuristic exactly as the
+// paper's Algorithm 3 (F_F_A) describes it, in both the basic form and the
+// ordered variant the paper's complexity claim rests on.
+//
+// In the basic algorithm every firefly compares itself against every other
+// firefly each iteration — the inner double loop of Algorithm 3, lines 7–12
+// — giving O(n²) pairwise interactions per iteration (the paper cites [22]
+// for this). The proposed improvement keeps the population *sorted by light
+// intensity* (Algorithm 3 line 5); a firefly then finds a brighter firefly
+// by binary search over the ordered structure in O(log n), giving
+// O(n log n) work per iteration. Both variants use the same location update,
+// eq. (13):
+//
+//	x_i ← x_i + k·exp(−γ·r_ij²)·(x_j − x_i) + η·μ
+//
+// where γ is the light absorption (attraction) coefficient, k the step
+// toward the better solution, η the randomization weight and μ a Gaussian
+// vector. Interaction counts are reported so the complexity gap is directly
+// measurable (ablation C in DESIGN.md).
+package firefly
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/xrand"
+)
+
+// Objective is the light-intensity function f(x); fireflies seek its
+// maximum (brightness = objective value).
+type Objective func(x []float64) float64
+
+// Params configures a run.
+type Params struct {
+	// N is the population size.
+	N int
+	// Dims is the search-space dimensionality d.
+	Dims int
+	// Gamma is the light absorption coefficient γ.
+	Gamma float64
+	// K is the attraction step size k.
+	K float64
+	// Eta is the randomization weight η; it decays geometrically by
+	// EtaDecay each iteration (standard FA practice; set EtaDecay=1 for
+	// the paper's fixed-η form).
+	Eta float64
+	// EtaDecay multiplies Eta once per iteration (0 < EtaDecay <= 1).
+	EtaDecay float64
+	// Iterations is the number of generations to run.
+	Iterations int
+	// Lo, Hi bound each coordinate of the search space.
+	Lo, Hi float64
+}
+
+// DefaultParams returns a reasonable configuration for a d-dimensional
+// search on [-lo, hi].
+func DefaultParams(n, dims int, lo, hi float64) Params {
+	return Params{
+		N: n, Dims: dims, Gamma: 1, K: 0.5,
+		Eta: 0.2 * (hi - lo), EtaDecay: 0.97,
+		Iterations: 100, Lo: lo, Hi: hi,
+	}
+}
+
+func (p Params) validate() error {
+	if p.N < 1 {
+		return fmt.Errorf("firefly: population %d < 1", p.N)
+	}
+	if p.Dims < 1 {
+		return fmt.Errorf("firefly: dims %d < 1", p.Dims)
+	}
+	if p.Hi <= p.Lo {
+		return fmt.Errorf("firefly: empty search box [%v,%v]", p.Lo, p.Hi)
+	}
+	if p.Iterations < 0 {
+		return fmt.Errorf("firefly: negative iterations")
+	}
+	if p.EtaDecay <= 0 || p.EtaDecay > 1 {
+		return fmt.Errorf("firefly: EtaDecay %v outside (0,1]", p.EtaDecay)
+	}
+	return nil
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Best is the brightest position found.
+	Best []float64
+	// BestIntensity is the objective value at Best.
+	BestIntensity float64
+	// Interactions counts pairwise attraction evaluations — the quantity
+	// that separates the O(n²) baseline from the O(n log n) variant.
+	Interactions uint64
+	// Evaluations counts objective evaluations.
+	Evaluations uint64
+	// Iterations is the number of generations executed.
+	Iterations int
+}
+
+type population struct {
+	pos       [][]float64
+	intensity []float64
+	obj       Objective
+	src       *xrand.Stream
+	p         Params
+	evals     uint64
+}
+
+func newPopulation(p Params, obj Objective, src *xrand.Stream) *population {
+	pop := &population{obj: obj, src: src, p: p}
+	pop.pos = make([][]float64, p.N)
+	pop.intensity = make([]float64, p.N)
+	for i := range pop.pos {
+		x := make([]float64, p.Dims)
+		for d := range x {
+			x[d] = src.Uniform(p.Lo, p.Hi)
+		}
+		pop.pos[i] = x
+		pop.intensity[i] = obj(x)
+		pop.evals++
+	}
+	return pop
+}
+
+// move applies eq. (13) to firefly i pulled toward firefly j.
+func (pop *population) move(i, j int, eta float64) {
+	xi, xj := pop.pos[i], pop.pos[j]
+	var r2 float64
+	for d := range xi {
+		diff := xj[d] - xi[d]
+		r2 += diff * diff
+	}
+	attract := pop.p.K * math.Exp(-pop.p.Gamma*r2)
+	for d := range xi {
+		xi[d] += attract*(xj[d]-xi[d]) + eta*pop.src.Norm()
+		if xi[d] < pop.p.Lo {
+			xi[d] = pop.p.Lo
+		}
+		if xi[d] > pop.p.Hi {
+			xi[d] = pop.p.Hi
+		}
+	}
+	pop.intensity[i] = pop.obj(xi)
+	pop.evals++
+}
+
+func (pop *population) best() (int, float64) {
+	bi, bv := 0, pop.intensity[0]
+	for i, v := range pop.intensity {
+		if v > bv {
+			bi, bv = i, v
+		}
+	}
+	return bi, bv
+}
+
+// Run executes the basic Algorithm 3: the full double loop, O(n²)
+// interactions per iteration.
+func Run(p Params, obj Objective, src *xrand.Stream) (Result, error) {
+	if err := p.validate(); err != nil {
+		return Result{}, err
+	}
+	pop := newPopulation(p, obj, src)
+	var res Result
+	eta := p.Eta
+	for it := 0; it < p.Iterations; it++ {
+		for i := 0; i < p.N; i++ {
+			for j := 0; j < p.N; j++ {
+				if i == j {
+					continue
+				}
+				res.Interactions++
+				// Algorithm 3 line 9: if I_j > I_i, move i toward j.
+				if pop.intensity[j] > pop.intensity[i] {
+					pop.move(i, j, eta)
+				}
+			}
+		}
+		eta *= p.EtaDecay
+		res.Iterations++
+	}
+	bi, bv := pop.best()
+	res.Best = append([]float64(nil), pop.pos[bi]...)
+	res.BestIntensity = bv
+	res.Evaluations = pop.evals
+	return res, nil
+}
+
+// RunOrdered executes the paper's improved variant: fireflies are kept
+// sorted by intensity (Algorithm 3 line 5); each firefly finds the set of
+// brighter fireflies by binary search over the order (O(log n)) and moves
+// once toward one of them (the brightest, plus a random brighter one for
+// diversity), giving O(n log n) interactions per iteration.
+func RunOrdered(p Params, obj Objective, src *xrand.Stream) (Result, error) {
+	if err := p.validate(); err != nil {
+		return Result{}, err
+	}
+	pop := newPopulation(p, obj, src)
+	var res Result
+	eta := p.Eta
+	order := make([]int, p.N) // indices sorted by ascending intensity
+	for it := 0; it < p.Iterations; it++ {
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			return pop.intensity[order[a]] < pop.intensity[order[b]]
+		})
+		snapshot := make([]float64, p.N)
+		for r, idx := range order {
+			snapshot[r] = pop.intensity[idx]
+		}
+		for r, idx := range order {
+			// Binary search (charged as log2 n interactions) for
+			// the first rank strictly brighter than this firefly.
+			res.Interactions += log2Ceil(p.N)
+			first := sort.SearchFloat64s(snapshot, pop.intensity[idx])
+			for first < p.N && snapshot[first] <= pop.intensity[idx] {
+				first++
+			}
+			if first >= p.N {
+				continue // already the brightest
+			}
+			// Move toward the brightest...
+			pop.move(idx, order[p.N-1], eta)
+			res.Interactions++
+			// ...and toward one random brighter firefly.
+			if first < p.N-1 {
+				pick := first + src.Intn(p.N-first)
+				if order[pick] != idx {
+					pop.move(idx, order[pick], eta)
+					res.Interactions++
+				}
+			}
+			_ = r
+		}
+		eta *= p.EtaDecay
+		res.Iterations++
+	}
+	bi, bv := pop.best()
+	res.Best = append([]float64(nil), pop.pos[bi]...)
+	res.BestIntensity = bv
+	res.Evaluations = pop.evals
+	return res, nil
+}
+
+func log2Ceil(n int) uint64 {
+	if n <= 1 {
+		return 1
+	}
+	return uint64(math.Ceil(math.Log2(float64(n))))
+}
+
+// Sphere returns the classic sphere test objective centred at c (maximum 0
+// at x = c, negative elsewhere): f(x) = -Σ (x_d − c_d)².
+func Sphere(c []float64) Objective {
+	return func(x []float64) float64 {
+		var s float64
+		for d := range x {
+			diff := x[d] - c[d]
+			s += diff * diff
+		}
+		return -s
+	}
+}

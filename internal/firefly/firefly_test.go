@@ -1,0 +1,211 @@
+package firefly
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/xrand"
+)
+
+func TestRunFindsSphereMaximum(t *testing.T) {
+	src := xrand.NewStream(1)
+	centre := []float64{2, -3}
+	p := DefaultParams(30, 2, -10, 10)
+	res, err := Run(p, Sphere(centre), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestIntensity < -0.5 {
+		t.Errorf("best intensity = %v, want near 0", res.BestIntensity)
+	}
+	for d := range centre {
+		if math.Abs(res.Best[d]-centre[d]) > 0.8 {
+			t.Errorf("best[%d] = %v, want near %v", d, res.Best[d], centre[d])
+		}
+	}
+}
+
+func TestRunOrderedFindsSphereMaximum(t *testing.T) {
+	src := xrand.NewStream(2)
+	centre := []float64{-4, 5, 1}
+	p := DefaultParams(40, 3, -10, 10)
+	p.Iterations = 150
+	res, err := RunOrdered(p, Sphere(centre), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestIntensity < -1.0 {
+		t.Errorf("best intensity = %v, want near 0", res.BestIntensity)
+	}
+}
+
+func TestOrderedInteractionsSubquadratic(t *testing.T) {
+	// The heart of the paper's complexity claim: per-iteration
+	// interactions are O(n²) for Run and O(n log n) for RunOrdered.
+	for _, n := range []int{32, 128} {
+		p := DefaultParams(n, 2, -5, 5)
+		p.Iterations = 3
+		naive, err := Run(p, Sphere([]float64{0, 0}), xrand.NewStream(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ordered, err := RunOrdered(p, Sphere([]float64{0, 0}), xrand.NewStream(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Naive: n(n-1) per iteration. Ordered: ≤ n(log2 n + 2).
+		wantNaive := uint64(3 * n * (n - 1))
+		if naive.Interactions != wantNaive {
+			t.Errorf("n=%d naive interactions = %d, want %d", n, naive.Interactions, wantNaive)
+		}
+		maxOrdered := uint64(3 * n * (int(math.Ceil(math.Log2(float64(n)))) + 2))
+		if ordered.Interactions > maxOrdered {
+			t.Errorf("n=%d ordered interactions = %d, exceeds n log n bound %d", n, ordered.Interactions, maxOrdered)
+		}
+		if ordered.Interactions >= naive.Interactions {
+			t.Errorf("n=%d ordered (%d) should beat naive (%d)", n, ordered.Interactions, naive.Interactions)
+		}
+	}
+}
+
+func TestInteractionRatioGrowsWithN(t *testing.T) {
+	ratio := func(n int) float64 {
+		p := DefaultParams(n, 2, -5, 5)
+		p.Iterations = 2
+		naive, _ := Run(p, Sphere([]float64{0, 0}), xrand.NewStream(4))
+		ordered, _ := RunOrdered(p, Sphere([]float64{0, 0}), xrand.NewStream(4))
+		return float64(naive.Interactions) / float64(ordered.Interactions)
+	}
+	if r32, r256 := ratio(32), ratio(256); r256 <= r32 {
+		t.Errorf("naive/ordered ratio should grow with n: %v (n=32) vs %v (n=256)", r32, r256)
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	src := xrand.NewStream(5)
+	obj := Sphere([]float64{0})
+	bad := []Params{
+		{N: 0, Dims: 1, Lo: 0, Hi: 1, EtaDecay: 1},
+		{N: 5, Dims: 0, Lo: 0, Hi: 1, EtaDecay: 1},
+		{N: 5, Dims: 1, Lo: 1, Hi: 1, EtaDecay: 1},
+		{N: 5, Dims: 1, Lo: 0, Hi: 1, Iterations: -1, EtaDecay: 1},
+		{N: 5, Dims: 1, Lo: 0, Hi: 1, EtaDecay: 0},
+		{N: 5, Dims: 1, Lo: 0, Hi: 1, EtaDecay: 1.5},
+	}
+	for i, p := range bad {
+		if _, err := Run(p, obj, src); err == nil {
+			t.Errorf("case %d: Run accepted invalid params %+v", i, p)
+		}
+		if _, err := RunOrdered(p, obj, src); err == nil {
+			t.Errorf("case %d: RunOrdered accepted invalid params %+v", i, p)
+		}
+	}
+}
+
+func TestZeroIterationsReturnsInitialBest(t *testing.T) {
+	src := xrand.NewStream(6)
+	p := DefaultParams(10, 2, -1, 1)
+	p.Iterations = 0
+	res, err := Run(p, Sphere([]float64{0, 0}), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 0 || res.Interactions != 0 {
+		t.Errorf("zero-iteration run did work: %+v", res)
+	}
+	if res.Evaluations != 10 {
+		t.Errorf("evaluations = %d, want 10 (initial population)", res.Evaluations)
+	}
+	if len(res.Best) != 2 {
+		t.Error("best position missing")
+	}
+}
+
+func TestPositionsStayInBox(t *testing.T) {
+	src := xrand.NewStream(7)
+	p := DefaultParams(20, 2, -2, 2)
+	p.Eta = 5 // violent randomization to stress the clamp
+	p.Iterations = 20
+	res, err := Run(p, Sphere([]float64{0, 0}), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, v := range res.Best {
+		if v < -2 || v > 2 {
+			t.Errorf("best[%d] = %v escaped the box", d, v)
+		}
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	p := DefaultParams(15, 2, -5, 5)
+	p.Iterations = 10
+	a, _ := Run(p, Sphere([]float64{1, 1}), xrand.NewStream(8))
+	b, _ := Run(p, Sphere([]float64{1, 1}), xrand.NewStream(8))
+	if a.BestIntensity != b.BestIntensity || a.Interactions != b.Interactions {
+		t.Error("identical seeds should give identical runs")
+	}
+}
+
+func TestSphere(t *testing.T) {
+	f := Sphere([]float64{1, 2})
+	if got := f([]float64{1, 2}); got != 0 {
+		t.Errorf("sphere at centre = %v", got)
+	}
+	if got := f([]float64{2, 2}); got != -1 {
+		t.Errorf("sphere at unit offset = %v", got)
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]uint64{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10}
+	for n, want := range cases {
+		if got := log2Ceil(n); got != want {
+			t.Errorf("log2Ceil(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestLocalizeRecoversPosition(t *testing.T) {
+	src := xrand.NewStream(9)
+	area := geo.Square(100)
+	truth := geo.Point{X: 40, Y: 60}
+	anchors := []geo.Point{{X: 10, Y: 10}, {X: 90, Y: 20}, {X: 50, Y: 90}, {X: 20, Y: 70}}
+	var obs []RangeObservation
+	for _, a := range anchors {
+		obs = append(obs, RangeObservation{Anchor: a, Distance: truth.Dist(a)})
+	}
+	got, err := Localize(obs, area, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := got.Dist(truth); d > 3 {
+		t.Errorf("localization error %v m with perfect ranges, want < 3 m", d)
+	}
+}
+
+func TestLocalizeNoisyRanges(t *testing.T) {
+	src := xrand.NewStream(10)
+	area := geo.Square(100)
+	truth := geo.Point{X: 55, Y: 35}
+	anchors := []geo.Point{{X: 0, Y: 0}, {X: 100, Y: 0}, {X: 0, Y: 100}, {X: 100, Y: 100}, {X: 50, Y: 50}}
+	var obs []RangeObservation
+	for _, a := range anchors {
+		noisy := truth.Dist(a) * (1 + 0.1*src.Norm())
+		obs = append(obs, RangeObservation{Anchor: a, Distance: noisy})
+	}
+	got, err := Localize(obs, area, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := got.Dist(truth); d > 15 {
+		t.Errorf("noisy localization error %v m, want < 15 m", d)
+	}
+}
+
+func TestLocalizeNoObservations(t *testing.T) {
+	if _, err := Localize(nil, geo.Square(10), xrand.NewStream(11)); err == nil {
+		t.Error("empty observations should error")
+	}
+}

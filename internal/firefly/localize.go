@@ -1,0 +1,54 @@
+package firefly
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+	"repro/internal/xrand"
+)
+
+// RangeObservation is one RSSI-derived distance measurement toward a peer
+// whose (estimated) position is known. Localization is what turns the
+// paper's RSSI ranging into "efficient expected location of [the] other
+// device to move in right direction".
+type RangeObservation struct {
+	// Anchor is the peer's position estimate.
+	Anchor geo.Point
+	// Distance is the RSSI-estimated distance to that peer in metres.
+	Distance float64
+}
+
+// Localize estimates a device's 2-D position from ranging observations by
+// running the firefly search over the squared residual objective
+// f(x) = −Σ (|x − anchor_i| − d_i)². At least three non-collinear anchors
+// are needed for an unambiguous fix; with fewer the brightest residual
+// minimum is still returned, but may be one of several.
+func Localize(obs []RangeObservation, area geo.Rect, src *xrand.Stream) (geo.Point, error) {
+	if len(obs) == 0 {
+		return geo.Point{}, fmt.Errorf("firefly: no ranging observations")
+	}
+	objective := func(x []float64) float64 {
+		p := geo.Point{X: x[0], Y: x[1]}
+		var s float64
+		for _, o := range obs {
+			r := p.Dist(o.Anchor) - o.Distance
+			s += r * r
+		}
+		return -s
+	}
+	lo := area.MinX
+	if area.MinY < lo {
+		lo = area.MinY
+	}
+	hi := area.MaxX
+	if area.MaxY > hi {
+		hi = area.MaxY
+	}
+	p := DefaultParams(25, 2, lo, hi)
+	p.Iterations = 60
+	res, err := RunOrdered(p, objective, src)
+	if err != nil {
+		return geo.Point{}, err
+	}
+	return area.Clamp(geo.Point{X: res.Best[0], Y: res.Best[1]}), nil
+}

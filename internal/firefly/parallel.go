@@ -1,0 +1,159 @@
+package firefly
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/xrand"
+)
+
+// RunSynchronous is the parallel form of the ordered algorithm, after the
+// GPU formulation of Husselmann & Hawick that the paper cites as [22]: each
+// iteration every firefly computes its move against a *frozen snapshot* of
+// the population (positions and intensities from the start of the
+// iteration), so all moves are independent and evaluate concurrently on a
+// worker pool. Updates are applied together at the iteration barrier.
+//
+// Each firefly draws its randomization term from its own named stream, so
+// the result is bit-identical for any worker count — the property the
+// sweep harness relies on everywhere else in this repository.
+//
+// Synchronous update changes the trajectory relative to the sequential
+// in-place algorithm (as it does on GPUs); both find the same optima on
+// well-behaved objectives, and the tests pin that.
+func RunSynchronous(p Params, obj Objective, streams *xrand.Streams, workers int) (Result, error) {
+	if err := p.validate(); err != nil {
+		return Result{}, err
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > p.N {
+		workers = p.N
+	}
+
+	// Initial population from the factory's init stream.
+	init := streams.Get("init")
+	pos := make([][]float64, p.N)
+	intensity := make([]float64, p.N)
+	for i := range pos {
+		x := make([]float64, p.Dims)
+		for d := range x {
+			x[d] = init.Uniform(p.Lo, p.Hi)
+		}
+		pos[i] = x
+		intensity[i] = obj(x)
+	}
+	var res Result
+	res.Evaluations = uint64(p.N)
+
+	perFly := make([]*xrand.Stream, p.N)
+	for i := range perFly {
+		perFly[i] = streams.Get(fmt.Sprintf("fly-%d", i))
+	}
+
+	newPos := make([][]float64, p.N)
+	newIntensity := make([]float64, p.N)
+	order := make([]int, p.N)
+	snapshot := make([]float64, p.N)
+	interactions := make([]uint64, p.N) // per-fly, summed at the barrier
+	evals := make([]uint64, p.N)
+
+	eta := p.Eta
+	for it := 0; it < p.Iterations; it++ {
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return intensity[order[a]] < intensity[order[b]] })
+		for r, idx := range order {
+			snapshot[r] = intensity[idx]
+			_ = r
+		}
+		brightest := order[p.N-1]
+
+		var wg sync.WaitGroup
+		chunk := (p.N + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > p.N {
+				hi = p.N
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for r := lo; r < hi; r++ {
+					idx := order[r]
+					interactions[idx] += log2Ceil(p.N)
+					first := sort.SearchFloat64s(snapshot, intensity[idx])
+					for first < p.N && snapshot[first] <= intensity[idx] {
+						first++
+					}
+					if first >= p.N {
+						// Already the brightest: keep position.
+						newPos[idx] = append(newPos[idx][:0], pos[idx]...)
+						newIntensity[idx] = intensity[idx]
+						continue
+					}
+					x := append(newPos[idx][:0], pos[idx]...)
+					moveToward(x, pos[brightest], p, eta, perFly[idx])
+					interactions[idx]++
+					if first < p.N-1 {
+						pick := first + perFly[idx].Intn(p.N-first)
+						if order[pick] != idx {
+							moveToward(x, pos[order[pick]], p, eta, perFly[idx])
+							interactions[idx]++
+						}
+					}
+					newPos[idx] = x
+					newIntensity[idx] = obj(x)
+					evals[idx]++
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+		pos, newPos = newPos, pos
+		intensity, newIntensity = newIntensity, intensity
+		eta *= p.EtaDecay
+		res.Iterations++
+	}
+
+	for i := 0; i < p.N; i++ {
+		res.Interactions += interactions[i]
+		res.Evaluations += evals[i]
+	}
+	bi := 0
+	for i, v := range intensity {
+		if v > intensity[bi] {
+			bi = i
+		}
+	}
+	res.Best = append([]float64(nil), pos[bi]...)
+	res.BestIntensity = intensity[bi]
+	return res, nil
+}
+
+// moveToward applies eq. (13) to x pulled toward target, drawing the
+// randomization vector from src.
+func moveToward(x, target []float64, p Params, eta float64, src *xrand.Stream) {
+	var r2 float64
+	for d := range x {
+		diff := target[d] - x[d]
+		r2 += diff * diff
+	}
+	attract := p.K * math.Exp(-p.Gamma*r2)
+	for d := range x {
+		x[d] += attract*(target[d]-x[d]) + eta*src.Norm()
+		if x[d] < p.Lo {
+			x[d] = p.Lo
+		}
+		if x[d] > p.Hi {
+			x[d] = p.Hi
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package firefly
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestRunSynchronousFindsOptimum(t *testing.T) {
+	p := DefaultParams(40, 2, -10, 10)
+	p.Iterations = 150
+	res, err := RunSynchronous(p, Sphere([]float64{3, -2}), xrand.NewStreams(1), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestIntensity < -1.0 {
+		t.Errorf("best intensity = %v, want near 0", res.BestIntensity)
+	}
+}
+
+func TestRunSynchronousDeterministicAcrossWorkers(t *testing.T) {
+	p := DefaultParams(30, 3, -5, 5)
+	p.Iterations = 25
+	obj := Sphere([]float64{1, 1, 1})
+	base, err := RunSynchronous(p, obj, xrand.NewStreams(7), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16, 100} {
+		got, err := RunSynchronous(p, obj, xrand.NewStreams(7), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.BestIntensity != base.BestIntensity || got.Interactions != base.Interactions {
+			t.Fatalf("workers=%d diverged: %v/%d vs %v/%d", workers,
+				got.BestIntensity, got.Interactions, base.BestIntensity, base.Interactions)
+		}
+		for d := range base.Best {
+			if got.Best[d] != base.Best[d] {
+				t.Fatalf("workers=%d best position differs", workers)
+			}
+		}
+	}
+}
+
+func TestRunSynchronousValidation(t *testing.T) {
+	bad := Params{N: 0, Dims: 1, Lo: 0, Hi: 1, EtaDecay: 1}
+	if _, err := RunSynchronous(bad, Sphere([]float64{0}), xrand.NewStreams(1), 2); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestRunSynchronousInteractionsMatchOrderedBound(t *testing.T) {
+	p := DefaultParams(64, 2, -5, 5)
+	p.Iterations = 4
+	res, err := RunSynchronous(p, Sphere([]float64{0, 0}), xrand.NewStreams(3), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxOrdered := uint64(4 * 64 * (6 + 2)) // iterations · n · (log2 n + 2)
+	if res.Interactions > maxOrdered {
+		t.Errorf("interactions = %d exceed the n log n bound %d", res.Interactions, maxOrdered)
+	}
+	if res.Iterations != 4 {
+		t.Errorf("iterations = %d", res.Iterations)
+	}
+}
+
+func TestRunSynchronousZeroIterations(t *testing.T) {
+	p := DefaultParams(10, 2, -1, 1)
+	p.Iterations = 0
+	res, err := RunSynchronous(p, Sphere([]float64{0, 0}), xrand.NewStreams(5), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Interactions != 0 || res.Evaluations != 10 {
+		t.Errorf("zero-iteration run: %+v", res)
+	}
+	if len(res.Best) != 2 {
+		t.Error("best missing")
+	}
+}

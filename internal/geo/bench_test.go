@@ -1,0 +1,49 @@
+package geo
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func benchPoints(n int) []Point {
+	src := xrand.NewStream(1)
+	return UniformDeployment(n, Square(1000), src)
+}
+
+func BenchmarkGridNeighbors(b *testing.B) {
+	pts := benchPoints(2000)
+	g := NewGrid(pts, 90)
+	buf := make([]int, 0, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = g.Neighbors(pts[i%len(pts)], 89, i%len(pts), buf[:0])
+	}
+}
+
+func BenchmarkKDTreeNeighbors(b *testing.B) {
+	pts := benchPoints(2000)
+	kd := NewKDTree(pts)
+	buf := make([]int, 0, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = kd.Neighbors(pts[i%len(pts)], 89, i%len(pts), buf[:0])
+	}
+}
+
+func BenchmarkKDTreeBuild(b *testing.B) {
+	pts := benchPoints(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewKDTree(pts)
+	}
+}
+
+func BenchmarkKDTreeNearest(b *testing.B) {
+	pts := benchPoints(2000)
+	kd := NewKDTree(pts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kd.Nearest(pts[i%len(pts)], i%len(pts))
+	}
+}

@@ -1,0 +1,150 @@
+package geo
+
+import "sort"
+
+// KDTree is a 2-d tree over a fixed point set — the classic alternative to
+// the uniform Grid index. The grid wins on uniformly dense deployments (the
+// paper's Table I scenario); the kd-tree is robust when density is highly
+// non-uniform (clustered hotspots, mobility pile-ups) where a grid's cells
+// degenerate. Both implement the same fixed-radius query so callers can
+// choose per deployment; tests verify they agree exactly.
+type KDTree struct {
+	pts   []Point
+	nodes []kdNode
+	root  int
+}
+
+type kdNode struct {
+	idx         int // index into pts
+	left, right int // node indices, -1 = none
+	axis        byte
+}
+
+// NewKDTree builds a balanced 2-d tree over pts in O(n log n).
+func NewKDTree(pts []Point) *KDTree {
+	t := &KDTree{pts: pts, root: -1}
+	if len(pts) == 0 {
+		return t
+	}
+	order := make([]int, len(pts))
+	for i := range order {
+		order[i] = i
+	}
+	t.nodes = make([]kdNode, 0, len(pts))
+	t.root = t.build(order, 0)
+	return t
+}
+
+func (t *KDTree) build(order []int, depth int) int {
+	if len(order) == 0 {
+		return -1
+	}
+	axis := byte(depth % 2)
+	sort.Slice(order, func(i, j int) bool {
+		a, b := t.pts[order[i]], t.pts[order[j]]
+		if axis == 0 {
+			if a.X != b.X {
+				return a.X < b.X
+			}
+			return a.Y < b.Y
+		}
+		if a.Y != b.Y {
+			return a.Y < b.Y
+		}
+		return a.X < b.X
+	})
+	mid := len(order) / 2
+	node := kdNode{idx: order[mid], axis: axis}
+	self := len(t.nodes)
+	t.nodes = append(t.nodes, node)
+	left := t.build(order[:mid], depth+1)
+	right := t.build(order[mid+1:], depth+1)
+	t.nodes[self].left = left
+	t.nodes[self].right = right
+	return self
+}
+
+// Len returns the number of indexed points.
+func (t *KDTree) Len() int { return len(t.pts) }
+
+// Neighbors appends to dst the indices of all indexed points within radius
+// of p, excluding index self (pass -1 to keep all), and returns the
+// extended slice — the same contract as Grid.Neighbors.
+func (t *KDTree) Neighbors(p Point, radius float64, self int, dst []int) []int {
+	if t.root < 0 || radius < 0 {
+		return dst
+	}
+	r2 := radius * radius
+	var walk func(ni int)
+	walk = func(ni int) {
+		if ni < 0 {
+			return
+		}
+		n := t.nodes[ni]
+		pt := t.pts[n.idx]
+		if n.idx != self && pt.Dist2(p) <= r2 {
+			dst = append(dst, n.idx)
+		}
+		var delta float64
+		if n.axis == 0 {
+			delta = p.X - pt.X
+		} else {
+			delta = p.Y - pt.Y
+		}
+		// Always descend the near side; the far side only when the
+		// splitting plane is within the radius.
+		if delta <= 0 {
+			walk(n.left)
+			if delta*delta <= r2 {
+				walk(n.right)
+			}
+		} else {
+			walk(n.right)
+			if delta*delta <= r2 {
+				walk(n.left)
+			}
+		}
+	}
+	walk(t.root)
+	return dst
+}
+
+// Nearest returns the index of the point closest to p (excluding self; pass
+// -1 to keep all) and its distance. It returns (-1, 0) on an empty tree or
+// when self is the only point.
+func (t *KDTree) Nearest(p Point, self int) (int, float64) {
+	bestIdx, bestD2 := -1, 0.0
+	var walk func(ni int)
+	walk = func(ni int) {
+		if ni < 0 {
+			return
+		}
+		n := t.nodes[ni]
+		pt := t.pts[n.idx]
+		if n.idx != self {
+			d2 := pt.Dist2(p)
+			if bestIdx < 0 || d2 < bestD2 {
+				bestIdx, bestD2 = n.idx, d2
+			}
+		}
+		var delta float64
+		if n.axis == 0 {
+			delta = p.X - pt.X
+		} else {
+			delta = p.Y - pt.Y
+		}
+		near, far := n.left, n.right
+		if delta > 0 {
+			near, far = far, near
+		}
+		walk(near)
+		if bestIdx < 0 || delta*delta <= bestD2 {
+			walk(far)
+		}
+	}
+	walk(t.root)
+	if bestIdx < 0 {
+		return -1, 0
+	}
+	return bestIdx, t.pts[bestIdx].Dist(p)
+}

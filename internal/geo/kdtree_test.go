@@ -1,0 +1,124 @@
+package geo
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestKDTreeMatchesGrid(t *testing.T) {
+	src := xrand.NewStream(1)
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + src.Intn(400)
+		pts := UniformDeployment(n, Square(100), src)
+		kd := NewKDTree(pts)
+		grid := NewGrid(pts, 10)
+		for q := 0; q < 20; q++ {
+			p := Point{X: src.Uniform(0, 100), Y: src.Uniform(0, 100)}
+			radius := src.Uniform(0, 40)
+			self := -1
+			if src.Intn(2) == 0 {
+				self = src.Intn(n)
+			}
+			a := kd.Neighbors(p, radius, self, nil)
+			b := grid.Neighbors(p, radius, self, nil)
+			sort.Ints(a)
+			sort.Ints(b)
+			if len(a) != len(b) {
+				t.Fatalf("trial %d: kd %d results vs grid %d", trial, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("trial %d: kd %v vs grid %v", trial, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestKDTreeClusteredMatchesGrid(t *testing.T) {
+	// Heavily clustered deployments are the kd-tree's reason to exist;
+	// correctness must hold there too.
+	src := xrand.NewStream(2)
+	pts := ClusterDeployment(300, 3, 2, Square(1000), src)
+	kd := NewKDTree(pts)
+	grid := NewGrid(pts, 50)
+	for q := 0; q < 30; q++ {
+		p := pts[src.Intn(len(pts))]
+		a := kd.Neighbors(p, 25, -1, nil)
+		b := grid.Neighbors(p, 25, -1, nil)
+		if len(a) != len(b) {
+			t.Fatalf("query %d: kd %d vs grid %d", q, len(a), len(b))
+		}
+	}
+}
+
+func TestKDTreeEmpty(t *testing.T) {
+	kd := NewKDTree(nil)
+	if kd.Len() != 0 {
+		t.Error("empty Len")
+	}
+	if got := kd.Neighbors(Point{}, 10, -1, nil); len(got) != 0 {
+		t.Error("empty tree returned neighbours")
+	}
+	if idx, _ := kd.Nearest(Point{}, -1); idx != -1 {
+		t.Error("empty tree returned a nearest point")
+	}
+}
+
+func TestKDTreeSingle(t *testing.T) {
+	kd := NewKDTree([]Point{{X: 5, Y: 5}})
+	if got := kd.Neighbors(Point{X: 5, Y: 6}, 2, -1, nil); len(got) != 1 || got[0] != 0 {
+		t.Errorf("got %v", got)
+	}
+	if got := kd.Neighbors(Point{X: 5, Y: 6}, 2, 0, nil); len(got) != 0 {
+		t.Error("self exclusion failed")
+	}
+	if idx, _ := kd.Nearest(Point{}, 0); idx != -1 {
+		t.Error("self-only tree should return -1")
+	}
+}
+
+func TestKDTreeNearestMatchesBruteForce(t *testing.T) {
+	src := xrand.NewStream(3)
+	pts := UniformDeployment(200, Square(100), src)
+	kd := NewKDTree(pts)
+	for q := 0; q < 100; q++ {
+		p := Point{X: src.Uniform(-10, 110), Y: src.Uniform(-10, 110)}
+		self := -1
+		if src.Intn(2) == 0 {
+			self = src.Intn(len(pts))
+		}
+		gotIdx, gotD := kd.Nearest(p, self)
+		wantIdx, wantD := -1, math.Inf(1)
+		for i, pt := range pts {
+			if i == self {
+				continue
+			}
+			if d := pt.Dist(p); d < wantD {
+				wantIdx, wantD = i, d
+			}
+		}
+		if gotIdx != wantIdx && math.Abs(gotD-wantD) > 1e-12 {
+			t.Fatalf("query %d: nearest %d (%v) vs brute %d (%v)", q, gotIdx, gotD, wantIdx, wantD)
+		}
+	}
+}
+
+func TestKDTreeDuplicatePoints(t *testing.T) {
+	pts := []Point{{X: 1, Y: 1}, {X: 1, Y: 1}, {X: 1, Y: 1}, {X: 2, Y: 2}}
+	kd := NewKDTree(pts)
+	got := kd.Neighbors(Point{X: 1, Y: 1}, 0.5, -1, nil)
+	if len(got) != 3 {
+		t.Errorf("duplicates: got %v, want all three copies", got)
+	}
+}
+
+func TestKDTreeNegativeRadius(t *testing.T) {
+	kd := NewKDTree([]Point{{X: 0, Y: 0}})
+	if got := kd.Neighbors(Point{}, -1, -1, nil); len(got) != 0 {
+		t.Error("negative radius should return nothing")
+	}
+}

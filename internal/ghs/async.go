@@ -1,0 +1,123 @@
+package ghs
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/eventsim"
+	"repro/internal/units"
+)
+
+// AsyncRun executes the same fragment-merging protocol as Run, but as a
+// genuinely asynchronous message-passing system on the discrete-event
+// engine: every protocol message (Report, Decision, Connect, Accept) is an
+// event that takes hopLatency slots to arrive, convergecasts ripple up the
+// fragment trees hop by hop, and merges complete only when the handshake
+// does. The result must — and the tests verify it does — build the same
+// maximum spanning forest as the synchronous Run; what the asynchronous
+// form adds is TIME: Result.Slots reports how long the construction took,
+// which is what the ST protocol's merge cadence abstracts as
+// MergeEveryPeriods.
+//
+// Structure per phase (still phase-synchronized per fragment, as the
+// paper's Algorithm 1 is, but with real message latencies):
+//
+//	leaf reports start at the fragment's leaves, aggregate upward (each
+//	hop one message), the head picks the fragment-best outgoing edge and
+//	floods the decision down (one message per hop), the boundary node
+//	fires Connect and the peer answers Accept. When every fragment's
+//	handshake of the phase has resolved, merges apply and the next phase
+//	starts.
+type AsyncResult struct {
+	Result
+	// Slots is the simulated construction time.
+	Slots units.Slot
+}
+
+// AsyncRun runs the asynchronous protocol. hopLatency is the per-message
+// delivery delay in slots (>= 1).
+func AsyncRun(cfg Config, hopLatency units.Slot) AsyncResult {
+	if hopLatency < 1 {
+		hopLatency = 1
+	}
+	p := NewProtocol(cfg)
+	eng := eventsim.New()
+	var out AsyncResult
+
+	// phase runs one merge phase with message timing, then schedules the
+	// next phase when progress was made.
+	var phase func(*eventsim.Engine)
+	phase = func(e *eventsim.Engine) {
+		if p.done {
+			return
+		}
+		// Timing model per fragment: convergecast depth + flood depth +
+		// handshake. Depths come from the current fragment trees.
+		maxCost := units.Slot(0)
+		for root, members := range p.members {
+			depth := fragmentDepth(p, root, members)
+			// Report up (depth hops) + decision down (depth hops) +
+			// connect + accept (1 hop each).
+			cost := units.Slot(2*depth+2) * hopLatency
+			if cost > maxCost {
+				maxCost = cost
+			}
+		}
+		progressed := p.Step() // counts the messages; merges apply
+		if progressed {
+			e.After(maxCost, "merge-phase", phase)
+		}
+	}
+	eng.Schedule(0, "merge-phase", phase)
+	eng.Run(1 << 40)
+
+	out.Result = p.Result()
+	out.Slots = eng.Now()
+	return out
+}
+
+// fragmentDepth returns the BFS depth of the fragment's current tree from
+// its head (0 for singletons).
+func fragmentDepth(p *Protocol, root int, members []int) int {
+	head := p.head[root]
+	if len(members) <= 1 {
+		return 0
+	}
+	depth := map[int]int{head: 0}
+	queue := []int{head}
+	best := 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range p.treeAdj[u] {
+			if _, seen := depth[v]; !seen && p.uf.Connected(v, root) {
+				depth[v] = depth[u] + 1
+				if depth[v] > best {
+					best = depth[v]
+				}
+				queue = append(queue, v)
+			}
+		}
+	}
+	return best
+}
+
+// PhaseTrace returns a human-readable summary of an async run for logs.
+func (r AsyncResult) PhaseTrace() string {
+	return fmt.Sprintf("async GHS: %d phases, %d messages, %d slots", r.Phases, r.Messages, r.Slots)
+}
+
+// FragmentSizes returns the sorted sizes of the final fragments (for
+// diagnostics; a connected input yields one entry).
+func (r AsyncResult) FragmentSizes() []int {
+	count := map[int]int{}
+	for _, f := range r.Fragment {
+		count[f]++
+	}
+	sizes := make([]int, 0, len(count))
+	for _, c := range count {
+		sizes = append(sizes, c)
+	}
+	sort.Ints(sizes)
+	return sizes
+}

@@ -1,0 +1,103 @@
+package ghs
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+func TestAsyncMatchesSynchronousForest(t *testing.T) {
+	s := xrand.NewStream(1)
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + s.Intn(50)
+		g := randomConnectedGraph(n, n*2, s)
+		nbrs := neighborsFromGraph(g)
+		sync := Run(Config{Neighbors: nbrs})
+		async := AsyncRun(Config{Neighbors: nbrs}, 1)
+		if len(async.Edges) != len(sync.Edges) {
+			t.Fatalf("trial %d: async %d edges vs sync %d", trial, len(async.Edges), len(sync.Edges))
+		}
+		ws := graph.TotalWeight(sync.Edges)
+		wa := graph.TotalWeight(async.Edges)
+		if math.Abs(ws-wa) > 1e-9 {
+			t.Fatalf("trial %d: weights differ %v vs %v", trial, wa, ws)
+		}
+		if async.Messages != sync.Messages || async.Phases != sync.Phases {
+			t.Fatalf("trial %d: accounting differs (msgs %d/%d, phases %d/%d)",
+				trial, async.Messages, sync.Messages, async.Phases, sync.Phases)
+		}
+	}
+}
+
+func TestAsyncTimeGrowsWithLatency(t *testing.T) {
+	s := xrand.NewStream(2)
+	g := randomConnectedGraph(40, 120, s)
+	nbrs := neighborsFromGraph(g)
+	fast := AsyncRun(Config{Neighbors: nbrs}, 1)
+	slow := AsyncRun(Config{Neighbors: nbrs}, 5)
+	if fast.Slots <= 0 {
+		t.Fatal("construction should take time")
+	}
+	if slow.Slots <= fast.Slots {
+		t.Errorf("5-slot hops (%d) should take longer than 1-slot hops (%d)", slow.Slots, fast.Slots)
+	}
+	// Latency scales the schedule linearly.
+	ratio := float64(slow.Slots) / float64(fast.Slots)
+	if ratio < 4 || ratio > 6 {
+		t.Errorf("latency scaling ratio = %v, want ~5", ratio)
+	}
+}
+
+func TestAsyncTimeGrowsLogarithmically(t *testing.T) {
+	// Phases are O(log n) and per-phase cost grows with fragment depth;
+	// total time must grow far slower than linearly in n.
+	s := xrand.NewStream(3)
+	timeFor := func(n int) float64 {
+		g := randomConnectedGraph(n, n*3, s)
+		res := AsyncRun(Config{Neighbors: neighborsFromGraph(g)}, 1)
+		return float64(res.Slots)
+	}
+	t64 := timeFor(64)
+	t512 := timeFor(512)
+	if t512 > 4*t64 {
+		t.Errorf("time grew %vx from n=64 to n=512; too fast for a log-phase protocol", t512/t64)
+	}
+}
+
+func TestAsyncSingletonAndLatencyClamp(t *testing.T) {
+	res := AsyncRun(Config{Neighbors: make([][]Neighbor, 1)}, 0) // latency clamped to 1
+	if res.Slots != 0 || len(res.Edges) != 0 {
+		t.Errorf("singleton async run: %+v", res)
+	}
+	if sizes := res.FragmentSizes(); len(sizes) != 1 || sizes[0] != 1 {
+		t.Errorf("fragment sizes = %v", sizes)
+	}
+}
+
+func TestAsyncPhaseTrace(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1, 1)
+	res := AsyncRun(Config{Neighbors: neighborsFromGraph(g)}, 1)
+	if !strings.Contains(res.PhaseTrace(), "async GHS") {
+		t.Errorf("trace = %q", res.PhaseTrace())
+	}
+	if res.Slots <= 0 {
+		t.Error("two-node merge should consume time")
+	}
+}
+
+func TestAsyncDisconnected(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(2, 3, 3)
+	res := AsyncRun(Config{Neighbors: neighborsFromGraph(g)}, 1)
+	if sizes := res.FragmentSizes(); len(sizes) != 2 {
+		t.Errorf("fragments = %v, want two", sizes)
+	}
+	if len(res.Edges) != 2 {
+		t.Errorf("forest edges = %d, want 2", len(res.Edges))
+	}
+}

@@ -1,0 +1,33 @@
+package ghs
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func BenchmarkRun(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		g := randomConnectedGraph(n, n*4, xrand.NewStream(1))
+		nbrs := neighborsFromGraph(g)
+		b.Run(sizeName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := Run(Config{Neighbors: nbrs})
+				if len(res.Edges) != n-1 {
+					b.Fatal("not a spanning tree")
+				}
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch n {
+	case 64:
+		return "n=64"
+	case 256:
+		return "n=256"
+	default:
+		return "n=?"
+	}
+}

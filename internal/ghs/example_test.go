@@ -1,0 +1,29 @@
+package ghs_test
+
+import (
+	"fmt"
+
+	"repro/internal/ghs"
+)
+
+// Example runs the distributed heavy-edge merge protocol (Algorithms 1–2)
+// over a four-device neighbour graph; it selects the three strongest links.
+func Example() {
+	// Neighbour tables: weight = observed PS strength (mean RSSI, dBm).
+	neighbors := [][]ghs.Neighbor{
+		{{Peer: 1, Weight: -60}, {Peer: 2, Weight: -90}},
+		{{Peer: 0, Weight: -60}, {Peer: 2, Weight: -70}, {Peer: 3, Weight: -95}},
+		{{Peer: 0, Weight: -90}, {Peer: 1, Weight: -70}, {Peer: 3, Weight: -65}},
+		{{Peer: 1, Weight: -95}, {Peer: 2, Weight: -65}},
+	}
+	res := ghs.Run(ghs.Config{Neighbors: neighbors})
+	fmt.Println("edges:", len(res.Edges), "phases:", res.Phases)
+	for _, e := range res.Edges {
+		fmt.Println(" ", e)
+	}
+	// Output:
+	// edges: 3 phases: 2
+	//   0—1 (w=-60.000)
+	//   2—3 (w=-65.000)
+	//   1—2 (w=-70.000)
+}

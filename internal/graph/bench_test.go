@@ -1,0 +1,44 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func benchGraph(n, extra int) *Graph {
+	return randomConnectedGraph(n, extra, xrand.NewStream(1))
+}
+
+func BenchmarkKruskalMax(b *testing.B) {
+	g := benchGraph(512, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KruskalMax(g)
+	}
+}
+
+func BenchmarkPrimMax(b *testing.B) {
+	g := benchGraph(512, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PrimMax(g)
+	}
+}
+
+func BenchmarkBoruvkaMax(b *testing.B) {
+	g := benchGraph(512, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BoruvkaMax(g)
+	}
+}
+
+func BenchmarkDijkstra(b *testing.B) {
+	g := benchGraph(512, 4096)
+	w := func(e Edge) float64 { return e.Weight }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Dijkstra(i%g.N(), w)
+	}
+}

@@ -1,0 +1,51 @@
+package graph_test
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// ExampleKruskalMax builds the heavy-edge ("maximum") spanning tree the
+// protocols are verified against: edge weights are PS strengths, heavier is
+// better.
+func ExampleKruskalMax() {
+	g := graph.New(4)
+	g.AddEdge(0, 1, -60) // mean RSSI in dBm: closer = heavier
+	g.AddEdge(1, 2, -80)
+	g.AddEdge(2, 3, -65)
+	g.AddEdge(0, 2, -90)
+	g.AddEdge(1, 3, -95)
+
+	tree := graph.KruskalMax(g)
+	fmt.Println(len(tree), "edges, total weight", graph.TotalWeight(tree))
+	// Output: 3 edges, total weight -205
+}
+
+// ExampleGraph_Dijkstra computes hop distances over a topology.
+func ExampleGraph_Dijkstra() {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(0, 3, 1)
+
+	dist := g.Dijkstra(0, graph.HopCost)
+	fmt.Println(dist)
+	// Output: [0 1 2 1]
+}
+
+// ExampleStretch quantifies the routing penalty of a sparse tree versus the
+// full graph.
+func ExampleStretch() {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(3, 0, 1)
+	tree := []graph.Edge{{U: 0, V: 1, Weight: 1}, {U: 1, V: 2, Weight: 1}, {U: 2, V: 3, Weight: 1}}
+
+	st := graph.Stretch(g, tree, graph.HopCost)
+	fmt.Printf("max stretch %.0f over %d pairs\n", st.Max, st.Pairs)
+	// Output: max stretch 3 over 6 pairs
+}

@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Weighted shortest paths and tree-quality metrics. The spanning tree the
+// protocols build is optimized for total PS strength, not for path length;
+// Stretch quantifies what multi-hop D2D relaying over the tree costs
+// relative to the best path in the full proximity graph.
+
+// dijkstraItem is a priority-queue entry.
+type dijkstraItem struct {
+	v    int
+	dist float64
+}
+
+type dijkstraHeap []dijkstraItem
+
+func (h dijkstraHeap) Len() int           { return len(h) }
+func (h dijkstraHeap) Less(i, j int) bool { return h[i].dist < h[j].dist }
+func (h dijkstraHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *dijkstraHeap) Push(x any)        { *h = append(*h, x.(dijkstraItem)) }
+func (h *dijkstraHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// Dijkstra returns the shortest-path distances from src using the given
+// per-edge cost function (cost must be non-negative; it receives each edge
+// oriented outward). Unreachable vertices get +Inf.
+func (g *Graph) Dijkstra(src int, cost func(Edge) float64) []float64 {
+	dist := make([]float64, g.n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	if src < 0 || src >= g.n {
+		return dist
+	}
+	dist[src] = 0
+	h := &dijkstraHeap{{v: src, dist: 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(dijkstraItem)
+		if it.dist > dist[it.v] {
+			continue // stale entry
+		}
+		for _, e := range g.adj[it.v] {
+			c := cost(e)
+			if c < 0 {
+				c = 0
+			}
+			if nd := it.dist + c; nd < dist[e.V] {
+				dist[e.V] = nd
+				heap.Push(h, dijkstraItem{v: e.V, dist: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// HopCost is a cost function counting every edge as one hop.
+func HopCost(Edge) float64 { return 1 }
+
+// StretchStats summarizes the multiplicative stretch of routing over a
+// subgraph (the tree) relative to the full graph.
+type StretchStats struct {
+	// Mean and Max are over all connected vertex pairs.
+	Mean, Max float64
+	// Pairs is the number of pairs measured.
+	Pairs int
+}
+
+// Stretch measures, for every connected vertex pair, the ratio of the
+// shortest-path cost over the tree edges to the shortest-path cost over the
+// full graph, using the given edge cost. A stretch of 1 means the tree
+// loses nothing; larger numbers are the relaying penalty of the sparse
+// topology. Pairs unreachable in either graph are skipped.
+func Stretch(full *Graph, treeEdges []Edge, cost func(Edge) float64) StretchStats {
+	tree := New(full.N())
+	for _, e := range treeEdges {
+		_ = tree.AddEdge(e.U, e.V, e.Weight)
+	}
+	var stats StretchStats
+	for s := 0; s < full.N(); s++ {
+		df := full.Dijkstra(s, cost)
+		dt := tree.Dijkstra(s, cost)
+		for v := s + 1; v < full.N(); v++ {
+			if math.IsInf(df[v], 1) || math.IsInf(dt[v], 1) || df[v] == 0 {
+				continue
+			}
+			r := dt[v] / df[v]
+			stats.Mean += r
+			if r > stats.Max {
+				stats.Max = r
+			}
+			stats.Pairs++
+		}
+	}
+	if stats.Pairs > 0 {
+		stats.Mean /= float64(stats.Pairs)
+	}
+	return stats
+}

@@ -1,0 +1,127 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestDijkstraKnownGraph(t *testing.T) {
+	g := New(5)
+	mustAdd(t, g, 0, 1, 4)
+	mustAdd(t, g, 0, 2, 1)
+	mustAdd(t, g, 2, 1, 2)
+	mustAdd(t, g, 1, 3, 1)
+	mustAdd(t, g, 2, 3, 5)
+	weight := func(e Edge) float64 { return e.Weight }
+	d := g.Dijkstra(0, weight)
+	want := []float64{0, 3, 1, 4, math.Inf(1)}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Errorf("dist[%d] = %v, want %v", i, d[i], want[i])
+		}
+	}
+}
+
+func TestDijkstraHopCost(t *testing.T) {
+	g := New(4)
+	mustAdd(t, g, 0, 1, 100)
+	mustAdd(t, g, 1, 2, 100)
+	mustAdd(t, g, 0, 3, 1)
+	mustAdd(t, g, 3, 2, 1)
+	d := g.Dijkstra(0, HopCost)
+	if d[2] != 2 {
+		t.Errorf("hop distance to 2 = %v, want 2", d[2])
+	}
+}
+
+func TestDijkstraMatchesBFSOnHops(t *testing.T) {
+	s := xrand.NewStream(1)
+	g := randomConnectedGraph(60, 120, s)
+	bfs := g.BFS(0)
+	dj := g.Dijkstra(0, HopCost)
+	for v := range bfs {
+		if float64(bfs[v]) != dj[v] {
+			t.Fatalf("vertex %d: BFS %d vs Dijkstra %v", v, bfs[v], dj[v])
+		}
+	}
+}
+
+func TestDijkstraInvalidSource(t *testing.T) {
+	g := New(3)
+	for _, d := range g.Dijkstra(-1, HopCost) {
+		if !math.IsInf(d, 1) {
+			t.Error("invalid source should give +Inf everywhere")
+		}
+	}
+}
+
+func TestDijkstraNegativeCostClamped(t *testing.T) {
+	g := New(2)
+	mustAdd(t, g, 0, 1, 1)
+	d := g.Dijkstra(0, func(Edge) float64 { return -5 })
+	if d[1] != 0 {
+		t.Errorf("negative costs clamp to 0: got %v", d[1])
+	}
+}
+
+// randomConnectedGraph is shared with graph_test.go.
+
+func TestStretchIdentityWhenTreeIsGraph(t *testing.T) {
+	g := New(4)
+	mustAdd(t, g, 0, 1, 1)
+	mustAdd(t, g, 1, 2, 1)
+	mustAdd(t, g, 2, 3, 1)
+	st := Stretch(g, g.Edges(), HopCost)
+	if st.Mean != 1 || st.Max != 1 {
+		t.Errorf("tree == graph should have stretch 1: %+v", st)
+	}
+	if st.Pairs != 6 {
+		t.Errorf("pairs = %d, want 6", st.Pairs)
+	}
+}
+
+func TestStretchDetectsDetour(t *testing.T) {
+	// Square with a diagonal shortcut; tree omits the shortcut.
+	g := New(4)
+	mustAdd(t, g, 0, 1, 1)
+	mustAdd(t, g, 1, 2, 1)
+	mustAdd(t, g, 2, 3, 1)
+	mustAdd(t, g, 3, 0, 1)
+	tree := []Edge{{0, 1, 1}, {1, 2, 1}, {2, 3, 1}}
+	st := Stretch(g, tree, HopCost)
+	// Pair (0,3): graph 1 hop, tree 3 hops → stretch 3.
+	if st.Max != 3 {
+		t.Errorf("max stretch = %v, want 3", st.Max)
+	}
+	if st.Mean <= 1 {
+		t.Errorf("mean stretch = %v, want > 1", st.Mean)
+	}
+}
+
+func TestStretchAtLeastOneProperty(t *testing.T) {
+	// The tree is a subgraph: its paths can never beat the full graph.
+	s := xrand.NewStream(2)
+	for trial := 0; trial < 10; trial++ {
+		g := randomConnectedGraph(30, 90, s)
+		tree := KruskalMax(g)
+		st := Stretch(g, tree, HopCost)
+		if st.Pairs == 0 {
+			t.Fatal("no pairs measured")
+		}
+		if st.Mean < 1-1e-12 || st.Max < 1-1e-12 {
+			t.Fatalf("stretch below 1: %+v", st)
+		}
+	}
+}
+
+func TestStretchDisconnectedPairsSkipped(t *testing.T) {
+	g := New(4)
+	mustAdd(t, g, 0, 1, 1)
+	mustAdd(t, g, 2, 3, 1)
+	st := Stretch(g, []Edge{{0, 1, 1}, {2, 3, 1}}, HopCost)
+	if st.Pairs != 2 {
+		t.Errorf("pairs = %d, want 2 (cross-component pairs skipped)", st.Pairs)
+	}
+}

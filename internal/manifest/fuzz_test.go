@@ -1,0 +1,35 @@
+package manifest
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead: arbitrary bytes must never panic the manifest parser, and any
+// manifest that parses and materializes must produce a valid Config.
+func FuzzRead(f *testing.F) {
+	var seed strings.Builder
+	if err := Default(50, 1).Write(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add(`{}`)
+	f.Add(`{"version":1}`)
+	f.Add(`{"version":1,"n":-5}`)
+	f.Add(`not json at all`)
+	f.Add(`{"version":1,"n":10,"seed":1,"fading":"rayleigh","path_loss":"dual-slope"}`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		m, err := Read(strings.NewReader(data))
+		if err != nil {
+			return // malformed input must error, not panic
+		}
+		cfg, err := m.ToConfig()
+		if err != nil {
+			return
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("ToConfig returned an invalid config: %v", err)
+		}
+	})
+}

@@ -1,0 +1,181 @@
+// Package manifest provides a serializable description of a simulation
+// configuration — the reproducibility artifact: a JSON file that pins every
+// parameter of a run, so an experiment can be re-executed bit-for-bit from
+// the manifest alone (`d2dsim -config run.json`). core.Config itself holds
+// interfaces and function hooks; Manifest is the flat, versioned view.
+package manifest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/oscillator"
+	"repro/internal/radio"
+	"repro/internal/units"
+)
+
+// Version guards against silently loading manifests written by an
+// incompatible schema.
+const Version = 1
+
+// Manifest is the JSON-stable view of a run configuration.
+type Manifest struct {
+	Version int `json:"version"`
+
+	N    int   `json:"n"`
+	Seed int64 `json:"seed"`
+	// AreaSide is the deployment square's side in metres; 0 scales the
+	// paper's density (50 devices / 100 m side) with N.
+	AreaSide float64 `json:"area_side_m"`
+
+	TxPowerDBm    float64 `json:"tx_power_dbm"`
+	ThresholdDBm  float64 `json:"threshold_dbm"`
+	ShadowSigmaDB float64 `json:"shadow_sigma_db"`
+	// Fading is one of "none", "rayleigh", "rician".
+	Fading string `json:"fading"`
+	// PathLoss is one of "dual-slope", "winner-b1", "log-distance-outdoor",
+	// "log-distance-indoor".
+	PathLoss string `json:"path_loss"`
+
+	PeriodSlots int `json:"period_slots"`
+	// CouplingA, CouplingEps are the eq. (5) parameters a and ε.
+	CouplingA       float64 `json:"coupling_a"`
+	CouplingEps     float64 `json:"coupling_eps"`
+	SyncWindowSlots int64   `json:"sync_window_slots"`
+	StableRounds    int     `json:"stable_rounds"`
+	MaxSlots        int64   `json:"max_slots"`
+
+	DiscoveryPeriods  int `json:"discovery_periods"`
+	MergeEveryPeriods int `json:"merge_every_periods"`
+	ConnectRetryLimit int `json:"connect_retry_limit"`
+	FstRoundSlots     int `json:"fst_round_slots"`
+
+	Services        int     `json:"services"`
+	Preambles       int     `json:"preambles"`
+	CaptureMarginDB float64 `json:"capture_margin_db"`
+	ClockDriftPPM   float64 `json:"clock_drift_ppm"`
+	SINRDetection   bool    `json:"sinr_detection"`
+	MeshCoupling    bool    `json:"mesh_coupling"`
+}
+
+// Default returns the manifest equivalent of core.PaperConfig(n, seed).
+func Default(n int, seed int64) Manifest {
+	return Manifest{
+		Version: Version,
+		N:       n, Seed: seed, AreaSide: 0,
+		TxPowerDBm: 23, ThresholdDBm: -95, ShadowSigmaDB: 10,
+		Fading: "rayleigh", PathLoss: "dual-slope",
+		PeriodSlots: 100, CouplingA: 3, CouplingEps: 0.02,
+		SyncWindowSlots: 0, StableRounds: 3, MaxSlots: 400000,
+		DiscoveryPeriods: 2, MergeEveryPeriods: 2,
+		ConnectRetryLimit: 5, FstRoundSlots: 8,
+		Services: 2, Preambles: 1, CaptureMarginDB: 6,
+	}
+}
+
+// ToConfig materializes the manifest into a runnable core.Config.
+func (m Manifest) ToConfig() (core.Config, error) {
+	if m.Version != Version {
+		return core.Config{}, fmt.Errorf("manifest: version %d, this build reads %d", m.Version, Version)
+	}
+	cfg := core.PaperConfig(m.N, m.Seed)
+	if m.AreaSide > 0 {
+		cfg.Area = geo.Square(m.AreaSide)
+	}
+	cfg.TxPower = units.DBm(m.TxPowerDBm)
+	cfg.Threshold = units.DBm(m.ThresholdDBm)
+	cfg.ShadowSigmaDB = m.ShadowSigmaDB
+
+	switch m.Fading {
+	case "none":
+		cfg.Fading = radio.FadingNone
+	case "rayleigh":
+		cfg.Fading = radio.FadingRayleigh
+	case "rician":
+		cfg.Fading = radio.FadingRician
+	default:
+		return core.Config{}, fmt.Errorf("manifest: unknown fading %q", m.Fading)
+	}
+	switch m.PathLoss {
+	case "dual-slope":
+		cfg.PathLoss = radio.PaperDualSlope()
+	case "winner-b1":
+		cfg.PathLoss = radio.PaperWinnerB1()
+	case "log-distance-outdoor":
+		cfg.PathLoss = radio.OutdoorLogDistance()
+	case "log-distance-indoor":
+		cfg.PathLoss = radio.IndoorLogDistance()
+	default:
+		return core.Config{}, fmt.Errorf("manifest: unknown path loss %q", m.PathLoss)
+	}
+
+	cfg.PeriodSlots = m.PeriodSlots
+	if m.CouplingA <= 0 || m.CouplingEps <= 0 {
+		return core.Config{}, fmt.Errorf("manifest: coupling a=%v, eps=%v must be positive", m.CouplingA, m.CouplingEps)
+	}
+	cfg.Coupling = oscillator.NewCoupling(m.CouplingA, m.CouplingEps)
+	cfg.SyncWindowSlots = m.SyncWindowSlots
+	cfg.StableRounds = m.StableRounds
+	cfg.MaxSlots = units.Slot(m.MaxSlots)
+	cfg.DiscoveryPeriods = m.DiscoveryPeriods
+	cfg.MergeEveryPeriods = m.MergeEveryPeriods
+	cfg.ConnectRetryLimit = m.ConnectRetryLimit
+	cfg.FstRoundSlots = m.FstRoundSlots
+	cfg.Services = m.Services
+	cfg.Preambles = m.Preambles
+	cfg.CaptureMarginDB = m.CaptureMarginDB
+	cfg.ClockDriftPPM = m.ClockDriftPPM
+	cfg.SINRDetection = m.SINRDetection
+	cfg.MeshCoupling = m.MeshCoupling
+
+	if err := cfg.Validate(); err != nil {
+		return core.Config{}, fmt.Errorf("manifest: %w", err)
+	}
+	return cfg, nil
+}
+
+// Write serializes the manifest as indented JSON.
+func (m Manifest) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// Read parses a manifest from JSON, rejecting unknown fields (typos in a
+// reproducibility artifact must fail loudly, not silently default).
+func Read(r io.Reader) (Manifest, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var m Manifest
+	if err := dec.Decode(&m); err != nil {
+		return Manifest{}, fmt.Errorf("manifest: %w", err)
+	}
+	return m, nil
+}
+
+// Load reads a manifest file.
+func Load(path string) (Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Manifest{}, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Save writes a manifest file.
+func (m Manifest) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,55 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzSummarize: any finite sample must yield internally consistent
+// statistics (min <= median <= max, std >= 0).
+func FuzzSummarize(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 200, 255})
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		xs := make([]float64, len(data))
+		for i, b := range data {
+			xs[i] = float64(int(b) - 128)
+		}
+		s := Summarize(xs)
+		if len(xs) == 0 {
+			if s.N != 0 {
+				t.Error("empty sample should give zero N")
+			}
+			return
+		}
+		if s.Min > s.Median || s.Median > s.Max || s.Std < 0 {
+			t.Errorf("inconsistent summary %+v for %v", s, xs)
+		}
+		for _, p := range []float64{0, 25, 50, 75, 100} {
+			v := Percentile(xs, p)
+			if math.IsNaN(v) || v < s.Min || v > s.Max {
+				t.Errorf("percentile %v = %v outside [%v, %v]", p, v, s.Min, s.Max)
+			}
+		}
+	})
+}
+
+// FuzzTableCSV: arbitrary cell contents must round through the CSV writer
+// without corrupting the row structure (no stray unquoted separators).
+func FuzzTableCSV(f *testing.F) {
+	f.Add("plain", "with,comma")
+	f.Add(`with"quote`, "with\nnewline")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		tb := NewTable("", "x", "y")
+		tb.AddRow(a, b)
+		var out strings.Builder
+		if err := tb.RenderCSV(&out); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(out.String(), "x,y\n") {
+			t.Errorf("header corrupted: %q", out.String())
+		}
+	})
+}

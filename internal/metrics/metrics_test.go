@@ -1,0 +1,151 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnownValues(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	// Sample std of 1..5 = sqrt(2.5).
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("std = %v, want %v", s.Std, math.Sqrt(2.5))
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Std != 0 || s.Median != 7 {
+		t.Errorf("singleton summary = %+v", s)
+	}
+	if s.CI95() != 0 {
+		t.Error("CI of singleton should be 0")
+	}
+	even := Summarize([]float64{1, 2, 3, 4})
+	if even.Median != 2.5 {
+		t.Errorf("even median = %v, want 2.5", even.Median)
+	}
+}
+
+func TestSummarizeBoundsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, math.Mod(v, 1e9))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Mean+1e-6 && s.Mean <= s.Max+1e-6 &&
+			s.Min <= s.Median && s.Median <= s.Max && s.Std >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	base := []float64{1, 5, 2, 8, 3}
+	big := append(append(append([]float64{}, base...), base...), base...)
+	if Summarize(big).CI95() >= Summarize(base).CI95() {
+		t.Error("CI should shrink as n grows")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if got := Percentile(xs, 0); got != 10 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 40 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 25 {
+		t.Errorf("p50 = %v, want 25", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty percentile should be NaN")
+	}
+	// Percentile must not mutate its input.
+	shuffled := []float64{3, 1, 2}
+	Percentile(shuffled, 50)
+	if shuffled[0] != 3 {
+		t.Error("Percentile mutated input")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	out := s.String()
+	if !strings.Contains(out, "n=3") || !strings.Contains(out, "mean=2.00") {
+		t.Errorf("String = %q", out)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Fig. X", "nodes", "FST", "ST")
+	tb.AddRow(50, 100.0, 90.5)
+	tb.AddRow(200, 400.0, 210.123456)
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Fig. X") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "nodes") || !strings.Contains(out, "-----") {
+		t.Error("missing header or separator")
+	}
+	if !strings.Contains(out, "90.5") && !strings.Contains(out, "90.500") {
+		t.Errorf("missing data: %q", out)
+	}
+	if !strings.Contains(out, "210.123") {
+		t.Errorf("float trimming wrong: %q", out)
+	}
+	if !strings.Contains(out, "100") {
+		t.Error("whole floats should render without decimals")
+	}
+	if tb.Rows() != 2 {
+		t.Errorf("Rows = %d", tb.Rows())
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("plain", `has "quotes", and comma`)
+	var b strings.Builder
+	if err := tb.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("CSV header wrong: %q", out)
+	}
+	if !strings.Contains(out, `"has ""quotes"", and comma"`) {
+		t.Errorf("CSV quoting wrong: %q", out)
+	}
+}
+
+func TestTableUntitledRender(t *testing.T) {
+	tb := NewTable("", "x")
+	tb.AddRow(1)
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(b.String(), "\n") {
+		t.Error("untitled table should not start with a blank line")
+	}
+}

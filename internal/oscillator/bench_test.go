@@ -1,0 +1,45 @@
+package oscillator
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func BenchmarkEnsembleStepMesh(b *testing.B) {
+	src := xrand.NewStream(1)
+	phases := make([]float64, 200)
+	for i := range phases {
+		phases[i] = src.Float64()
+	}
+	e := NewEnsemble(phases, 100, WeakCoupling(), nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+func BenchmarkKuramotoStepMesh(b *testing.B) {
+	src := xrand.NewStream(2)
+	n := 200
+	ph := make([]float64, n)
+	om := make([]float64, n)
+	for i := range ph {
+		ph[i] = src.Uniform(0, 6.28)
+		om[i] = 1
+	}
+	k := NewKuramoto(ph, om, 1, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Step(0.01)
+	}
+}
+
+func BenchmarkOnPulse(b *testing.B) {
+	o := New(0.4, 100, WeakCoupling())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Phase = 0.4
+		o.OnPulse(int64(i + 10))
+	}
+}

@@ -1,0 +1,97 @@
+package oscillator
+
+// Ensemble is a self-contained slotted simulation of N pulse-coupled
+// oscillators on an arbitrary coupling graph. It exists for two purposes:
+// verifying the Mirollo–Strogatz convergence condition independently of the
+// radio stack, and powering the syncdemo example. The protocol layers in
+// internal/core run their own device loop on top of the radio channel; this
+// type is the idealized (loss-free, collision-free) reference dynamics.
+type Ensemble struct {
+	// Oscillators are the member oscillators.
+	Oscillators []*Oscillator
+	// Adjacency lists which oscillators hear which: Adjacency[i] are the
+	// indices receiving i's pulses. A nil entry means broadcast to all.
+	Adjacency [][]int
+
+	slot int64
+}
+
+// NewEnsemble builds an ensemble of n oscillators with the given initial
+// phases (len(phases) must be n), period and coupling; adjacency nil means
+// fully meshed.
+func NewEnsemble(phases []float64, periodSlots int, c Coupling, adjacency [][]int) *Ensemble {
+	osc := make([]*Oscillator, len(phases))
+	for i, p := range phases {
+		osc[i] = New(p, periodSlots, c)
+	}
+	return &Ensemble{Oscillators: osc, Adjacency: adjacency}
+}
+
+// Slot returns the current simulation slot.
+func (e *Ensemble) Slot() int64 { return e.slot }
+
+// Phases returns a snapshot of all phases.
+func (e *Ensemble) Phases() []float64 {
+	out := make([]float64, len(e.Oscillators))
+	for i, o := range e.Oscillators {
+		out[i] = o.Phase
+	}
+	return out
+}
+
+// Step advances the ensemble one slot and returns the indices that fired.
+// Pulses are delivered within the same slot; a pulse that pushes a listener
+// to threshold fires it in the same slot (absorption), and its pulse is
+// propagated in turn. Refractory windows guarantee at most one fire per
+// oscillator per slot, so the cascade terminates.
+func (e *Ensemble) Step() []int {
+	e.slot++
+	var fired []int
+	for i, o := range e.Oscillators {
+		if o.Advance(e.slot) {
+			fired = append(fired, i)
+		}
+	}
+	// Worklist cascade: deliver each fire's pulse, enqueueing new fires.
+	for k := 0; k < len(fired); k++ {
+		i := fired[k]
+		for _, j := range e.listeners(i) {
+			if j == i {
+				continue
+			}
+			if e.Oscillators[j].OnPulse(e.slot) {
+				fired = append(fired, j)
+			}
+		}
+	}
+	return fired
+}
+
+func (e *Ensemble) listeners(i int) []int {
+	if e.Adjacency == nil || e.Adjacency[i] == nil {
+		all := make([]int, 0, len(e.Oscillators))
+		for j := range e.Oscillators {
+			all = append(all, j)
+		}
+		return all
+	}
+	return e.Adjacency[i]
+}
+
+// RunUntilSync steps the ensemble until all oscillators fire in the same
+// slot window for stableRounds consecutive rounds, or until maxSlots
+// elapse. It returns the slot at which synchrony was reached and true, or
+// the last slot and false on timeout.
+func (e *Ensemble) RunUntilSync(windowSlots int64, stableRounds int, maxSlots int64) (int64, bool) {
+	det := NewSyncDetector(len(e.Oscillators), windowSlots, stableRounds)
+	for e.slot < maxSlots {
+		for _, i := range e.Step() {
+			_ = i
+			if det.OnFire(e.slot) {
+				_, at := det.Synced()
+				return at, true
+			}
+		}
+	}
+	return e.slot, false
+}

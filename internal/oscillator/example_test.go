@@ -1,0 +1,36 @@
+package oscillator_test
+
+import (
+	"fmt"
+
+	"repro/internal/oscillator"
+)
+
+// ExampleNewCoupling computes the PRC constants of eq. (5).
+func ExampleNewCoupling() {
+	c := oscillator.NewCoupling(3, 0.1)
+	fmt.Printf("alpha=%.4f beta=%.4f converges=%v\n", c.Alpha, c.Beta, c.Converges())
+	// Output: alpha=1.3499 beta=0.0183 converges=true
+}
+
+// ExampleEnsemble_RunUntilSync synchronizes five pulse-coupled oscillators
+// from spread-out phases.
+func ExampleEnsemble_RunUntilSync() {
+	phases := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	e := oscillator.NewEnsemble(phases, 100, oscillator.DefaultCoupling(), nil)
+	_, ok := e.RunUntilSync(0, 3, 100000)
+	fmt.Println("synchronized:", ok)
+	fmt.Printf("order parameter: %.0f\n", oscillator.OrderParameter(e.Phases()))
+	// Output:
+	// synchronized: true
+	// order parameter: 1
+}
+
+// ExampleOrderParameter distinguishes coherent from incoherent phases.
+func ExampleOrderParameter() {
+	fmt.Printf("%.2f\n", oscillator.OrderParameter([]float64{0.2, 0.2, 0.2}))
+	fmt.Printf("%.2f\n", oscillator.OrderParameter([]float64{0, 0.25, 0.5, 0.75}))
+	// Output:
+	// 1.00
+	// 0.00
+}

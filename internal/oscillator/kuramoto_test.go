@@ -1,0 +1,121 @@
+package oscillator
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func randomPhasesOmega(n int, sigma float64, seed int64) (ph, om []float64) {
+	src := xrand.NewStream(seed)
+	ph = make([]float64, n)
+	om = make([]float64, n)
+	for i := range ph {
+		ph[i] = src.Uniform(0, 2*math.Pi)
+		om[i] = src.Gaussian(1, sigma)
+	}
+	return ph, om
+}
+
+func runKuramoto(k *Kuramoto, steps int, dt float64) {
+	for i := 0; i < steps; i++ {
+		k.Step(dt)
+	}
+}
+
+func TestKuramotoIdenticalFrequenciesSync(t *testing.T) {
+	ph, om := randomPhasesOmega(30, 0, 1)
+	k := NewKuramoto(ph, om, 1.0, nil)
+	runKuramoto(k, 4000, 0.01)
+	if r := k.Order(); r < 0.999 {
+		t.Errorf("identical frequencies should fully synchronize: r = %v", r)
+	}
+}
+
+func TestKuramotoCriticalCouplingThreshold(t *testing.T) {
+	// Above Kc the mean-field model partially locks; far below it stays
+	// incoherent. This is the classic Kuramoto transition, and it agrees
+	// with the analytic Kc = σ·√(8/π).
+	const sigma = 0.5
+	kc := CriticalCoupling(sigma)
+	if math.Abs(kc-sigma*1.5957691) > 1e-6 {
+		t.Fatalf("Kc formula wrong: %v", kc)
+	}
+	ph, om := randomPhasesOmega(120, sigma, 2)
+
+	strong := NewKuramoto(ph, om, 3*kc, nil)
+	runKuramoto(strong, 3000, 0.01)
+	weak := NewKuramoto(ph, om, kc/5, nil)
+	runKuramoto(weak, 3000, 0.01)
+
+	if rs := strong.Order(); rs < 0.8 {
+		t.Errorf("K = 3Kc should lock most oscillators: r = %v", rs)
+	}
+	if rw := weak.Order(); rw > 0.4 {
+		t.Errorf("K = Kc/5 should stay incoherent: r = %v", rw)
+	}
+	if strong.Order() <= weak.Order() {
+		t.Error("order above critical coupling should exceed below")
+	}
+}
+
+func TestKuramotoRingTopology(t *testing.T) {
+	// Nearest-neighbour ring with identical frequencies synchronizes too
+	// (slower) — matching the pulse-coupled ring in the syncdemo example.
+	n := 20
+	ph, om := randomPhasesOmega(n, 0, 3)
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		adj[i] = []int{(i + n - 1) % n, (i + 1) % n}
+	}
+	k := NewKuramoto(ph, om, 2.0, adj)
+	runKuramoto(k, 40000, 0.01)
+	if r := k.Order(); r < 0.95 {
+		t.Errorf("ring should (nearly) synchronize: r = %v", r)
+	}
+}
+
+func TestKuramotoAgreesWithPulseCoupledQualitatively(t *testing.T) {
+	// The cross-validation: with homogeneous clocks both models reach
+	// synchrony from random initial phases on a full mesh.
+	ph, om := randomPhasesOmega(25, 0, 4)
+	k := NewKuramoto(ph, om, 1.0, nil)
+	runKuramoto(k, 4000, 0.01)
+
+	src := xrand.NewStream(5)
+	phases := make([]float64, 25)
+	for i := range phases {
+		phases[i] = src.Float64()
+	}
+	e := NewEnsemble(phases, 100, DefaultCoupling(), nil)
+	_, pulseOK := e.RunUntilSync(0, 3, 200000)
+
+	if k.Order() < 0.999 || !pulseOK {
+		t.Errorf("models disagree: kuramoto r=%v, pulse-coupled synced=%v", k.Order(), pulseOK)
+	}
+}
+
+func TestKuramotoPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	NewKuramoto([]float64{0}, []float64{1, 2}, 1, nil)
+}
+
+func TestKuramotoOrderEmpty(t *testing.T) {
+	k := &Kuramoto{}
+	if k.Order() != 1 {
+		t.Error("empty model order should be 1")
+	}
+}
+
+func TestKuramotoIsolatedOscillatorFreeRuns(t *testing.T) {
+	k := NewKuramoto([]float64{0}, []float64{2 * math.Pi}, 5, [][]int{nil})
+	k.Step(0.5)
+	if math.Abs(k.Phases[0]-math.Pi) > 1e-12 {
+		t.Errorf("isolated oscillator should advance by ω·dt: %v", k.Phases[0])
+	}
+}

@@ -1,0 +1,337 @@
+// Package oscillator implements the firefly synchronization model of
+// Section III: Mirollo–Strogatz pulse-coupled integrate-and-fire oscillators
+// with the piecewise-linear phase response curve of eq. (5), plus ensemble
+// utilities (order parameter, synchrony detection) used by the protocol
+// layers to decide when a network has converged.
+//
+// Each oscillator carries a phase θ ∈ [0, θth] that ramps linearly
+// (eq. (3): dθ/dt = θth/T). When θ reaches the threshold the oscillator
+// "fires" (broadcasts a PS) and resets to zero; when it hears a neighbour
+// fire it jumps its phase by the PRC (eq. (4)):
+//
+//	θ ← min(α·θ + β, θth)   with α = e^{aε}, β = (e^{aε}−1)/(e^{a}−1)
+//
+// Mirollo & Strogatz prove that for α > 1, β > 0 (i.e. a > 0, ε > 0) an
+// all-to-all network always converges to synchrony; the paper leans on the
+// companion result of [17] that tree topologies also always synchronize.
+package oscillator
+
+import (
+	"fmt"
+	"math"
+)
+
+// Threshold is θth. The paper normalizes the phase threshold to 1.
+const Threshold = 1.0
+
+// Coupling holds the PRC parameters of eq. (5), derived from the dissipation
+// factor a and the amplitude increment ε.
+type Coupling struct {
+	// Alpha is the multiplicative phase-jump factor, α = e^{aε}.
+	Alpha float64
+	// Beta is the additive phase-jump term, β = (e^{aε}−1)/(e^{a}−1).
+	Beta float64
+}
+
+// NewCoupling computes α and β from the dissipation factor a and the pulse
+// amplitude increment epsilon, exactly per eq. (5). It panics if a or
+// epsilon is non-positive, because convergence requires α > 1 and β > 0.
+func NewCoupling(a, epsilon float64) Coupling {
+	if a <= 0 || epsilon <= 0 {
+		panic(fmt.Sprintf("oscillator: coupling needs a>0, ε>0 (got a=%v, ε=%v)", a, epsilon))
+	}
+	alpha := math.Exp(a * epsilon)
+	beta := (math.Exp(a*epsilon) - 1) / (math.Exp(a) - 1)
+	return Coupling{Alpha: alpha, Beta: beta}
+}
+
+// DefaultCoupling is a moderate setting (a = 3, ε = 0.1) that satisfies the
+// Mirollo–Strogatz convergence condition with phase jumps of a few percent
+// of the cycle — comparable to the settings used in firefly-sync literature.
+func DefaultCoupling() Coupling { return NewCoupling(3, 0.1) }
+
+// WeakCoupling is the low-gain setting (a = 3, ε = 0.02) the protocol
+// experiments use: per-pulse jumps of a fraction of a percent, so that mesh
+// synchronization time depends visibly on network extent instead of
+// collapsing to a single absorption cascade.
+func WeakCoupling() Coupling { return NewCoupling(3, 0.02) }
+
+// Converges reports whether the coupling satisfies the Mirollo–Strogatz
+// sufficient condition α > 1, β > 0.
+func (c Coupling) Converges() bool { return c.Alpha > 1 && c.Beta > 0 }
+
+// Jump applies the PRC to a phase: min(α·θ + β, Threshold).
+func (c Coupling) Jump(theta float64) float64 {
+	v := c.Alpha*theta + c.Beta
+	if v > Threshold {
+		return Threshold
+	}
+	return v
+}
+
+// Oscillator is one integrate-and-fire oscillator with a slotted clock.
+type Oscillator struct {
+	// Phase is the current phase in [0, Threshold].
+	Phase float64
+	// PeriodSlots is the free-running period T expressed in simulation
+	// slots; the phase ramps by Threshold/PeriodSlots per slot.
+	PeriodSlots int
+	// Coupling is the PRC applied on pulse reception.
+	Coupling Coupling
+	// Refractory, when positive, is the number of slots after a fire
+	// during which incoming pulses are ignored. A short refractory period
+	// is the standard cure for same-instant echo storms on radio channels
+	// (cf. the Reachback Firefly Algorithm's treatment).
+	Refractory int
+	// JumpsPerCycle caps how many PRC jumps are applied between two of
+	// this oscillator's own fires; 0 means unlimited (pure Mirollo–
+	// Strogatz). Slotted radio implementations apply one adjustment per
+	// frame from the superimposed received pulses (MEMFIS-style); the
+	// protocol layers set 1.
+	JumpsPerCycle int
+	// ListenPhase is the phase the listening window opens at: pulses
+	// arriving while Phase < ListenPhase neither couple nor consume the
+	// jump budget. Radio firefly implementations (RFA, MEMFIS) listen in
+	// a window near their own firing instant; 0 listens always.
+	ListenPhase float64
+	// Rate scales the phase ramp to model clock drift: an oscillator with
+	// Rate 1.001 runs 1000 ppm fast. Zero is treated as 1 (nominal).
+	// With drifted clocks synchrony is no longer an absorbing state — it
+	// must be actively maintained by pulse coupling, which tolerates
+	// drift only up to roughly β·T slots per period.
+	Rate float64
+	// ReachbackDelaySlots enables the Reachback Firefly Algorithm
+	// discipline (Werner-Allen et al., the paper's ref [13]): a pulse's
+	// PRC jump is not applied at reception but queued and applied after
+	// this many slots — the radio/MAC processing delay RFA was designed
+	// around. The delay must stay well below the period: queuing jumps a
+	// full cycle (as a naive "apply at my next fire" reading would)
+	// flips the dynamics into stable antiphase/splay locking, the classic
+	// delayed-pulse-coupling result. Zero means immediate coupling.
+	ReachbackDelaySlots int
+
+	refractUntil int64 // absolute slot until which pulses are ignored
+	jumpsUsed    int   // PRC jumps consumed since the last own fire
+	queued       []queuedJump
+}
+
+// queuedJump is a matured-delivery PRC adjustment (reachback mode).
+type queuedJump struct {
+	applyAt int64
+	delta   float64
+}
+
+// New returns an oscillator with the given initial phase, period (slots) and
+// coupling and a 1-slot refractory window.
+func New(phase float64, periodSlots int, c Coupling) *Oscillator {
+	if periodSlots <= 0 {
+		panic("oscillator: period must be positive")
+	}
+	return &Oscillator{Phase: clampPhase(phase), PeriodSlots: periodSlots, Coupling: c, Refractory: 1}
+}
+
+func clampPhase(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > Threshold {
+		return Threshold
+	}
+	return p
+}
+
+// Advance moves the oscillator forward one slot (eq. (3)) and reports
+// whether it fires in this slot. After a fire the phase is reset to zero
+// (eq. (4), first case).
+func (o *Oscillator) Advance(nowSlot int64) (fired bool) {
+	rate := o.Rate
+	if rate == 0 {
+		rate = 1
+	}
+	// Apply matured reachback jumps first.
+	if len(o.queued) > 0 {
+		kept := o.queued[:0]
+		for _, q := range o.queued {
+			if q.applyAt <= nowSlot {
+				o.Phase += q.delta
+			} else {
+				kept = append(kept, q)
+			}
+		}
+		o.queued = kept
+	}
+	o.Phase += rate * Threshold / float64(o.PeriodSlots)
+	if o.Phase >= Threshold-1e-12 {
+		o.Phase = 0
+		o.refractUntil = nowSlot + int64(o.Refractory)
+		o.jumpsUsed = 0
+		// Queued corrections survive the reset: a jump earned just
+		// before firing still advances the next cycle, which is how a
+		// laggard finishes closing the last few slots.
+		return true
+	}
+	return false
+}
+
+// OnPulse applies the coupling jump for one received pulse (eq. (4), second
+// case). If the jump pushes the phase to the threshold the oscillator fires
+// immediately — phase resets to zero and OnPulse returns true. This is the
+// Mirollo–Strogatz "absorption": the receiver fires in the same instant as
+// the sender and the two are synchronized from then on. The refractory
+// window (which opens on every fire) bounds each oscillator to at most one
+// fire per slot, so same-slot cascades always terminate. Pulses arriving
+// inside the refractory window are ignored and return false.
+func (o *Oscillator) OnPulse(nowSlot int64) (fired bool) {
+	if nowSlot < o.refractUntil {
+		return false
+	}
+	if o.Phase < o.ListenPhase {
+		return false
+	}
+	if o.JumpsPerCycle > 0 && o.jumpsUsed >= o.JumpsPerCycle {
+		return false
+	}
+	o.jumpsUsed++
+	if o.ReachbackDelaySlots > 0 {
+		// Queue the jump for the processing delay (RFA discipline);
+		// no same-slot absorption cascade is possible.
+		o.queued = append(o.queued, queuedJump{
+			applyAt: nowSlot + int64(o.ReachbackDelaySlots),
+			delta:   o.Coupling.Jump(o.Phase) - o.Phase,
+		})
+		return false
+	}
+	o.Phase = o.Coupling.Jump(o.Phase)
+	if o.Phase >= Threshold-1e-12 {
+		o.Phase = 0
+		o.refractUntil = nowSlot + int64(o.Refractory)
+		o.jumpsUsed = 0
+		return true
+	}
+	return false
+}
+
+// SlotsToFire returns how many Advance calls remain until the oscillator
+// fires from its current phase, assuming no further pulses.
+func (o *Oscillator) SlotsToFire() int {
+	remaining := Threshold - o.Phase
+	step := Threshold / float64(o.PeriodSlots)
+	n := int(math.Ceil(remaining/step - 1e-12))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// OrderParameter returns the Kuramoto order parameter r ∈ [0,1] of a set of
+// phases (interpreted as fractions of a cycle): r = |Σ e^{i·2πθ}| / n.
+// r = 1 means perfect synchrony; r ≈ 0 means phases spread uniformly.
+func OrderParameter(phases []float64) float64 {
+	if len(phases) == 0 {
+		return 1
+	}
+	var re, im float64
+	for _, p := range phases {
+		a := 2 * math.Pi * p / Threshold
+		re += math.Cos(a)
+		im += math.Sin(a)
+	}
+	n := float64(len(phases))
+	return math.Hypot(re, im) / n
+}
+
+// PhaseSpread returns the smallest arc (as a fraction of the cycle, in
+// [0, 0.5]) containing the pairwise circular distance of the extreme phases.
+// Zero means all phases identical.
+func PhaseSpread(phases []float64) float64 {
+	if len(phases) < 2 {
+		return 0
+	}
+	// Circular spread: 1 - largest gap between consecutive sorted phases.
+	sorted := make([]float64, len(phases))
+	for i, p := range phases {
+		sorted[i] = math.Mod(p/Threshold, 1)
+		if sorted[i] < 0 {
+			sorted[i] += 1
+		}
+	}
+	insertionSort(sorted)
+	largestGap := 1 - sorted[len(sorted)-1] + sorted[0]
+	for i := 1; i < len(sorted); i++ {
+		if g := sorted[i] - sorted[i-1]; g > largestGap {
+			largestGap = g
+		}
+	}
+	return 1 - largestGap
+}
+
+func insertionSort(a []float64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// SyncDetector decides network-wide synchrony from fire events: the network
+// is synchronized once every one of n devices fires within a window of
+// WindowSlots, for StableRounds consecutive periods.
+type SyncDetector struct {
+	// N is the number of devices that must fire together.
+	N int
+	// WindowSlots is the maximum slot distance between the first and last
+	// fire of a round for the round to count as synchronized.
+	WindowSlots int64
+	// StableRounds is how many consecutive synchronized rounds are needed.
+	StableRounds int
+
+	roundStart int64
+	roundSeen  int
+	stable     int
+	active     bool
+	synced     bool
+	syncedAt   int64
+}
+
+// NewSyncDetector returns a detector with the given parameters; zero
+// WindowSlots means same-slot synchrony, stableRounds < 1 is coerced to 1.
+func NewSyncDetector(n int, windowSlots int64, stableRounds int) *SyncDetector {
+	if stableRounds < 1 {
+		stableRounds = 1
+	}
+	return &SyncDetector{N: n, WindowSlots: windowSlots, StableRounds: stableRounds}
+}
+
+// OnFire records that one device fired in the given slot. Call once per
+// device per fire. Returns true once synchrony has been achieved.
+func (d *SyncDetector) OnFire(slot int64) bool {
+	if d.synced {
+		return true
+	}
+	if !d.active {
+		d.active = true
+		d.roundStart = slot
+		d.roundSeen = 1
+		return false
+	}
+	if slot-d.roundStart <= d.WindowSlots {
+		d.roundSeen++
+		if d.roundSeen == d.N {
+			d.stable++
+			d.active = false
+			if d.stable >= d.StableRounds {
+				d.synced = true
+				d.syncedAt = slot
+			}
+		}
+		return d.synced
+	}
+	// Window exceeded: this fire starts a new round and breaks the streak.
+	d.stable = 0
+	d.roundStart = slot
+	d.roundSeen = 1
+	return false
+}
+
+// Synced reports whether synchrony has been detected, and at which slot.
+func (d *SyncDetector) Synced() (bool, int64) { return d.synced, d.syncedAt }

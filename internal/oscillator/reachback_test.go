@@ -1,0 +1,111 @@
+package oscillator
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// Tests for the Reachback Firefly discipline (ref [13] of the paper):
+// pulses queue for a processing delay D instead of coupling instantly.
+// The measurable consequences, pinned here: no same-slot absorption
+// cascades; a follower locks exactly D slots behind its leader (the
+// correction is always D slots stale); and a mesh contracts from random
+// phases to a spread on the order of D — bounded sync error, not perfect
+// slot synchrony, exactly how RFA's testbed results read.
+
+func TestReachbackQueuesInsteadOfJumping(t *testing.T) {
+	o := New(0.5, 100, DefaultCoupling())
+	o.ReachbackDelaySlots = 5
+	before := o.Phase
+	if o.OnPulse(10) {
+		t.Fatal("reachback pulse must not fire immediately")
+	}
+	if o.Phase != before {
+		t.Fatal("reachback pulse must not move the phase immediately")
+	}
+	// The jump shows up only after the delay matures (Advance at 15).
+	for slot := int64(11); slot < 15; slot++ {
+		o.Advance(slot)
+	}
+	pre := o.Phase
+	o.Advance(15)
+	step := Threshold / 100
+	if o.Phase-pre <= step+1e-12 {
+		t.Error("matured jump did not apply")
+	}
+}
+
+func TestReachbackNeverCascadesSameSlot(t *testing.T) {
+	o := New(0.99, 100, NewCoupling(3, 0.5)) // would absorb instantly
+	o.ReachbackDelaySlots = 5
+	if o.OnPulse(5) {
+		t.Error("reachback must suppress same-slot absorption")
+	}
+}
+
+func TestReachbackPairLocksAtDelay(t *testing.T) {
+	for _, d := range []int{2, 5, 10} {
+		osc := []*Oscillator{
+			New(0.5, 100, NewCoupling(3, 0.2)),
+			New(0.8, 100, NewCoupling(3, 0.2)),
+		}
+		for _, o := range osc {
+			o.ReachbackDelaySlots = d
+		}
+		e := &Ensemble{Oscillators: osc}
+		last := map[int]int64{}
+		for i := 0; i < 50000; i++ {
+			for _, f := range e.Step() {
+				last[f] = e.Slot()
+			}
+		}
+		gap := last[0] - last[1]
+		if gap < 0 {
+			gap = -gap
+		}
+		if gap > 50 {
+			gap = 100 - gap
+		}
+		if gap != int64(d) {
+			t.Errorf("delay %d: pair locked %d slots apart, want exactly the delay", d, gap)
+		}
+	}
+}
+
+func TestReachbackMeshBoundedSpread(t *testing.T) {
+	src := xrand.NewStream(7)
+	phases := make([]float64, 15)
+	for i := range phases {
+		phases[i] = src.Float64()
+	}
+	initial := PhaseSpread(phases)
+	osc := make([]*Oscillator, len(phases))
+	for i, p := range phases {
+		osc[i] = New(p, 100, NewCoupling(3, 0.2))
+		osc[i].ReachbackDelaySlots = 10
+	}
+	e := &Ensemble{Oscillators: osc}
+	for i := 0; i < 200000; i++ {
+		e.Step()
+	}
+	final := PhaseSpread(e.Phases())
+	if final >= initial/2 {
+		t.Errorf("mesh spread %v did not contract from %v", final, initial)
+	}
+	// Bounded error on the order of the delay (10 slots = 0.1 of the
+	// cycle), not perfect synchrony.
+	if final > 0.2 {
+		t.Errorf("mesh spread %v exceeds twice the delay bound", final)
+	}
+}
+
+func TestReachbackZeroDelayIsImmediate(t *testing.T) {
+	o := New(0.5, 100, DefaultCoupling())
+	o.ReachbackDelaySlots = 0
+	before := o.Phase
+	o.OnPulse(10)
+	if o.Phase <= before {
+		t.Error("zero delay should couple immediately")
+	}
+}

@@ -1,0 +1,38 @@
+package rach
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/radio"
+	"repro/internal/units"
+	"repro/internal/xrand"
+)
+
+func BenchmarkBroadcastAll(b *testing.B) {
+	streams := xrand.NewStreams(1)
+	positions := geo.UniformDeployment(400, geo.Square(283), streams.Get("deploy"))
+	ch := radio.PaperChannel(streams)
+	tr := NewTransport(ch, positions, 23, -95, 20)
+	tr.CaptureMarginDB = 6
+	senders := make([]int, 40)
+	for i := range senders {
+		senders[i] = i * 10
+	}
+	svc := func(int) int { return 0 }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.BroadcastAll(senders, RACH1, KindPulse, svc, units.Slot(i))
+	}
+}
+
+func BenchmarkBroadcastSingle(b *testing.B) {
+	streams := xrand.NewStreams(2)
+	positions := geo.UniformDeployment(400, geo.Square(283), streams.Get("deploy"))
+	ch := radio.PaperChannel(streams)
+	tr := NewTransport(ch, positions, 23, -95, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Broadcast(i%400, RACH1, KindPulse, 0, units.Slot(i))
+	}
+}

@@ -1,0 +1,417 @@
+// Package rach models the control-message substrate of Section III/IV: the
+// Proximity Signal (PS) carried on a pair of RACH codecs, and a broadcast
+// transport that delivers PSs to every device whose sampled received power
+// meets the detection threshold.
+//
+// The paper multiplexes two codecs over the LTE-A random access channel:
+// RACH1 carries the regular firefly keep-alive/synchronization pulses, RACH2
+// carries the inter-subtree merge handshake (H_Connect) and other events.
+// OFDMA keeps preambles orthogonal, so codecs never interfere — the
+// transport therefore never models cross-codec collisions, exactly as the
+// paper assumes. Different codecs can also encode different service
+// interests, which is how service discovery rides on the same mechanism.
+package rach
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/radio"
+	"repro/internal/units"
+	"repro/internal/xrand"
+)
+
+// Codec identifies which RACH preamble family a PS uses.
+type Codec int
+
+const (
+	// RACH1 is the keep-alive / synchronization codec.
+	RACH1 Codec = iota
+	// RACH2 is the merge / "other event" codec.
+	RACH2
+	numCodecs
+)
+
+// String implements fmt.Stringer.
+func (c Codec) String() string {
+	switch c {
+	case RACH1:
+		return "RACH1"
+	case RACH2:
+		return "RACH2"
+	default:
+		return fmt.Sprintf("RACH(%d)", int(c))
+	}
+}
+
+// Kind further qualifies a PS for the protocol state machines.
+type Kind int
+
+const (
+	// KindPulse is a firefly synchronization pulse.
+	KindPulse Kind = iota
+	// KindReport is a convergecast report toward a fragment head.
+	KindReport
+	// KindDecision is a head's merge decision flooded down the fragment.
+	KindDecision
+	// KindConnect is an H_Connect merge probe across a fragment boundary.
+	KindConnect
+	// KindAccept is the reciprocal H_Connect acknowledgement.
+	KindAccept
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindPulse:
+		return "pulse"
+	case KindReport:
+		return "report"
+	case KindDecision:
+		return "decision"
+	case KindConnect:
+		return "connect"
+	case KindAccept:
+		return "accept"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Message is one PS as seen by a receiver.
+type Message struct {
+	// From is the transmitting device id.
+	From int
+	// Codec is the RACH codec family the PS used.
+	Codec Codec
+	// Kind qualifies the message for the protocol layer.
+	Kind Kind
+	// Service is the transmitting device's service interest tag; devices
+	// filter application-level discovery on it.
+	Service int
+	// Slot is the transmission slot.
+	Slot units.Slot
+	// RSSI is the received power observed by this receiver — the basis
+	// for edge weights and RSSI ranging.
+	RSSI units.DBm
+}
+
+// Delivery pairs a receiver with the message instance it observed.
+type Delivery struct {
+	To  int
+	Msg Message
+}
+
+// PayloadBytes returns the over-the-air payload size of a message kind, per
+// the LTE-A framing the protocols assume: a bare sync pulse is a RACH
+// preamble plus the service tag (the paper's codec trick encodes the
+// service in the preamble choice, so the pulse itself carries almost
+// nothing); control messages carry identifiers and a weight.
+func PayloadBytes(kind Kind) uint64 {
+	switch kind {
+	case KindPulse:
+		return 4 // preamble id + service tag
+	case KindReport:
+		return 12 // reporter id + best edge (peer id + weight)
+	case KindDecision:
+		return 8 // chosen edge (two ids)
+	case KindConnect, KindAccept:
+		return 8 // fragment id + head id
+	default:
+		return 4
+	}
+}
+
+// Counters tallies transmissions and receptions per codec, and the
+// transmitted payload bytes per codec.
+type Counters struct {
+	Tx      [numCodecs]uint64
+	Rx      [numCodecs]uint64
+	TxBytes [numCodecs]uint64
+}
+
+// TotalTx returns the total transmissions across codecs — the paper's
+// "total number of exchange messages".
+func (c Counters) TotalTx() uint64 { return c.Tx[RACH1] + c.Tx[RACH2] }
+
+// TotalTxBytes returns the total transmitted payload bytes across codecs —
+// the byte-denominated reading of Fig. 4's control overhead.
+func (c Counters) TotalTxBytes() uint64 { return c.TxBytes[RACH1] + c.TxBytes[RACH2] }
+
+// TotalRx returns the total receptions across codecs.
+func (c Counters) TotalRx() uint64 { return c.Rx[RACH1] + c.Rx[RACH2] }
+
+// Transport broadcasts PSs over a radio channel to a fixed deployment. It
+// owns the message counters for an experiment run.
+type Transport struct {
+	// Channel produces received-power samples.
+	Channel *radio.Channel
+	// Threshold is the PS detection threshold (Table I: -95 dBm).
+	Threshold units.DBm
+	// TxPower is the common device transmit power (Table I: 23 dBm).
+	TxPower units.DBm
+	// CaptureMarginDB controls same-slot same-codec collision resolution
+	// in BroadcastAll: a receiver decodes the strongest arriving PS only
+	// when it exceeds the second strongest by this margin ("capture
+	// effect"); otherwise all colliding PSs are lost at that receiver.
+	// This is the "intra-group proximity signal interference due to
+	// misalignment of devices" the paper notes. Zero disables the margin
+	// (strongest always captures); negative disables collisions entirely.
+	CaptureMarginDB float64
+	// Preambles is the per-codec PRACH preamble pool size. Each sender in
+	// a BroadcastAll draws one preamble uniformly; distinct preambles are
+	// orthogonal (LTE Zadoff–Chu sequences), so collisions and capture
+	// only play out among senders sharing a preamble, and a receiver can
+	// decode several PSs in one slot. Values < 2 model a single shared
+	// sequence (the default, and the paper's intra-codec reading).
+	// Preambles > 1 requires PreambleSrc.
+	Preambles int
+	// PreambleSrc supplies the preamble draws.
+	PreambleSrc *xrand.Stream
+	// LinkSampler, when non-nil, replaces Channel.Sample for
+	// link-addressed transmissions: it receives (from, to, distance,
+	// slot) and returns the received power. This is where spatially
+	// correlated shadowing (radio.ShadowMap) and time-correlated block
+	// fading (radio.BlockFading) plug in; the default Channel draws both
+	// terms i.i.d. per sample.
+	LinkSampler func(from, to int, d units.Metre, slot units.Slot) units.DBm
+	// SINRMode switches BroadcastAll's same-preamble resolution from the
+	// capture-margin rule to a physical SINR detector: the strongest
+	// arrival decodes iff its power over (noise + all other same-preamble
+	// arrivals) meets RequiredSNRDB. Sub-threshold arrivals still count
+	// as interference — the part the capture model approximates away.
+	SINRMode bool
+	// NoiseFloor is the receiver noise power for SINRMode (LTE PRACH:
+	// radio.NoiseFloor(radio.PRACHBandwidthHz, 9) ≈ −104.7 dBm).
+	NoiseFloor units.DBm
+	// RequiredSNRDB is the detection SINR requirement for SINRMode.
+	RequiredSNRDB float64
+
+	positions []geo.Point
+	grid      *geo.Grid
+	reach     units.Metre
+	counters  Counters
+	scratch   []int
+}
+
+// NewTransport builds a transport for the given deployment. The candidate
+// radius is the deterministic coverage radius stretched by marginDB of
+// shadowing/fading headroom: devices beyond it are never probed (their mean
+// path loss leaves them marginDB below threshold), devices inside it get a
+// fresh channel sample per PS.
+func NewTransport(ch *radio.Channel, positions []geo.Point, txPower, threshold units.DBm, marginDB float64) *Transport {
+	// Stretch the budget by marginDB to keep strong positive fades in.
+	reach := radio.MaxRange(ch.Model, txPower.Add(units.DB(marginDB)), threshold, 1e6)
+	cell := float64(reach)
+	if cell <= 0 {
+		cell = 1
+	}
+	return &Transport{
+		Channel:   ch,
+		Threshold: threshold,
+		TxPower:   txPower,
+		positions: positions,
+		grid:      geo.NewGrid(positions, cell),
+		reach:     reach,
+	}
+}
+
+// N returns the number of devices on the transport.
+func (t *Transport) N() int { return len(t.positions) }
+
+// Position returns device i's position.
+func (t *Transport) Position(i int) geo.Point { return t.positions[i] }
+
+// CandidateRadius returns the candidate neighbourhood radius in metres.
+func (t *Transport) CandidateRadius() units.Metre { return t.reach }
+
+// Counters returns a copy of the current counters.
+func (t *Transport) Counters() Counters { return t.counters }
+
+// ResetCounters zeroes the counters (used between experiment phases).
+func (t *Transport) ResetCounters() { t.counters = Counters{} }
+
+// Broadcast transmits one PS from device from, sampling the channel to every
+// candidate neighbour, and returns the deliveries whose RSSI met the
+// threshold. The transmission is counted once regardless of how many
+// receivers detect it (a broadcast is one message on the air); each
+// detection increments the reception counter.
+func (t *Transport) Broadcast(from int, codec Codec, kind Kind, service int, slot units.Slot) []Delivery {
+	t.counters.Tx[codec]++
+	t.counters.TxBytes[codec] += PayloadBytes(kind)
+	src := t.positions[from]
+	t.scratch = t.grid.Neighbors(src, float64(t.reach), from, t.scratch[:0])
+	var out []Delivery
+	for _, j := range t.scratch {
+		d := units.Metre(src.Dist(t.positions[j]))
+		rx := t.sample(from, j, d, slot)
+		if !rx.AtLeast(t.Threshold) {
+			continue
+		}
+		t.counters.Rx[codec]++
+		out = append(out, Delivery{
+			To: j,
+			Msg: Message{
+				From: from, Codec: codec, Kind: kind,
+				Service: service, Slot: slot, RSSI: rx,
+			},
+		})
+	}
+	return out
+}
+
+// Unicast transmits one PS from device from addressed to device to (the
+// H_Connect handshake is point-to-point at the protocol level even though
+// the air interface is broadcast). It returns the message and true when the
+// sampled RSSI meets the threshold, and counts exactly one transmission and
+// at most one reception.
+func (t *Transport) Unicast(from, to int, codec Codec, kind Kind, service int, slot units.Slot) (Message, bool) {
+	t.counters.Tx[codec]++
+	t.counters.TxBytes[codec] += PayloadBytes(kind)
+	d := units.Metre(t.positions[from].Dist(t.positions[to]))
+	rx := t.sample(from, to, d, slot)
+	if !rx.AtLeast(t.Threshold) {
+		return Message{}, false
+	}
+	t.counters.Rx[codec]++
+	return Message{From: from, Codec: codec, Kind: kind, Service: service, Slot: slot, RSSI: rx}, true
+}
+
+// BroadcastAll transmits one PS from every listed sender in the same slot
+// and the same codec, resolving same-slot collisions per receiver with the
+// capture model: among the above-threshold arrivals at a receiver, only the
+// strongest is decoded, and only if it exceeds the runner-up by
+// CaptureMarginDB (single arrivals always decode). Each sender is charged
+// one transmission; only decoded PSs count as receptions.
+//
+// With CaptureMarginDB < 0 the collision model is disabled and every
+// above-threshold arrival is delivered (the behaviour of repeated Broadcast
+// calls).
+func (t *Transport) BroadcastAll(senders []int, codec Codec, kind Kind, service func(sender int) int, slot units.Slot) []Delivery {
+	if t.CaptureMarginDB < 0 || len(senders) == 1 {
+		var out []Delivery
+		for _, s := range senders {
+			out = append(out, t.Broadcast(s, codec, kind, service(s), slot)...)
+		}
+		return out
+	}
+	// Preamble assignment: senders sharing a preamble contend; distinct
+	// preambles are orthogonal.
+	preambleOf := make(map[int]int, len(senders))
+	pool := t.Preambles
+	if pool < 2 || t.PreambleSrc == nil {
+		pool = 1
+	}
+	for _, s := range senders {
+		if pool == 1 {
+			preambleOf[s] = 0
+		} else {
+			preambleOf[s] = t.PreambleSrc.Intn(pool)
+		}
+	}
+
+	type arrival struct {
+		sender int
+		rssi   units.DBm
+	}
+	// Group arrivals per (receiver, preamble).
+	type slotKey struct{ recv, preamble int }
+	byGroup := make(map[slotKey][]arrival)
+	for _, s := range senders {
+		t.counters.Tx[codec]++
+		t.counters.TxBytes[codec] += PayloadBytes(kind)
+		src := t.positions[s]
+		t.scratch = t.grid.Neighbors(src, float64(t.reach), s, t.scratch[:0])
+		for _, j := range t.scratch {
+			d := units.Metre(src.Dist(t.positions[j]))
+			rx := t.sample(s, j, d, slot)
+			// The capture model drops sub-threshold arrivals outright;
+			// the SINR model keeps them — they still interfere.
+			if !t.SINRMode && !rx.AtLeast(t.Threshold) {
+				continue
+			}
+			k := slotKey{recv: j, preamble: preambleOf[s]}
+			byGroup[k] = append(byGroup[k], arrival{sender: s, rssi: rx})
+		}
+	}
+	keys := make([]slotKey, 0, len(byGroup))
+	for k := range byGroup {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { // deterministic delivery order
+		if keys[i].recv != keys[j].recv {
+			return keys[i].recv < keys[j].recv
+		}
+		return keys[i].preamble < keys[j].preamble
+	})
+	var out []Delivery
+	for _, k := range keys {
+		arr := byGroup[k]
+		best, second := 0, -1
+		for i := 1; i < len(arr); i++ {
+			switch {
+			case arr[i].rssi > arr[best].rssi:
+				second = best
+				best = i
+			case second == -1 || arr[i].rssi > arr[second].rssi:
+				second = i
+			}
+		}
+		if t.SINRMode {
+			interferers := make([]units.DBm, 0, len(arr)-1)
+			for i, a := range arr {
+				if i != best {
+					interferers = append(interferers, a.rssi)
+				}
+			}
+			sinr := radio.SINR(arr[best].rssi, interferers, t.NoiseFloor)
+			if !radio.Detectable(sinr, t.RequiredSNRDB) {
+				continue
+			}
+		} else if second >= 0 && float64(arr[best].rssi-arr[second].rssi) < t.CaptureMarginDB {
+			continue // collision: nothing decodable on this preamble
+		}
+		t.counters.Rx[codec]++
+		out = append(out, Delivery{
+			To: k.recv,
+			Msg: Message{
+				From: arr[best].sender, Codec: codec, Kind: kind,
+				Service: service(arr[best].sender), Slot: slot, RSSI: arr[best].rssi,
+			},
+		})
+	}
+	return out
+}
+
+// sample draws one link-addressed received-power observation, through the
+// LinkSampler when configured and the i.i.d. Channel otherwise.
+func (t *Transport) sample(from, to int, d units.Metre, slot units.Slot) units.DBm {
+	if t.LinkSampler != nil {
+		return t.LinkSampler(from, to, d, slot)
+	}
+	return t.Channel.Sample(t.TxPower, d)
+}
+
+// MeanRSSI returns the expected (path-loss-only) received power between two
+// devices — what multi-sample RSSI averaging converges to, and the natural
+// deterministic edge weight for verification against reference MSTs.
+func (t *Transport) MeanRSSI(from, to int) units.DBm {
+	d := units.Metre(t.positions[from].Dist(t.positions[to]))
+	return t.Channel.MeanReceivedPower(t.TxPower, d)
+}
+
+// DeterministicNeighbors returns the ids of devices whose *mean* received
+// power from device i meets the threshold — the zero-fading adjacency used
+// to build the reference graph G(V,E).
+func (t *Transport) DeterministicNeighbors(i int) []int {
+	detReach := radio.MaxRange(t.Channel.Model, t.TxPower, t.Threshold, 1e6)
+	cands := t.grid.Neighbors(t.positions[i], float64(detReach), i, nil)
+	out := cands[:0]
+	for _, j := range cands {
+		if t.MeanRSSI(i, j).AtLeast(t.Threshold) {
+			out = append(out, j)
+		}
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+package rach
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/radio"
+	"repro/internal/units"
+	"repro/internal/xrand"
+)
+
+func quietTransport(positions []geo.Point) *Transport {
+	streams := xrand.NewStreams(1)
+	ch := radio.NewChannel(radio.PaperDualSlope(), 0, radio.FadingNone, streams)
+	return NewTransport(ch, positions, 23, -95, 0)
+}
+
+func TestBroadcastDetectionByDistance(t *testing.T) {
+	// Deterministic range at 23 dBm / -95 dBm is ~89.1 m.
+	positions := []geo.Point{{X: 0, Y: 0}, {X: 50, Y: 0}, {X: 200, Y: 0}}
+	tr := quietTransport(positions)
+	dels := tr.Broadcast(0, RACH1, KindPulse, 0, 1)
+	if len(dels) != 1 || dels[0].To != 1 {
+		t.Fatalf("deliveries = %+v, want only device 1", dels)
+	}
+	m := dels[0].Msg
+	if m.From != 0 || m.Codec != RACH1 || m.Kind != KindPulse || m.Slot != 1 {
+		t.Errorf("message fields wrong: %+v", m)
+	}
+	if !m.RSSI.AtLeast(-95) {
+		t.Errorf("delivered RSSI %v below threshold", m.RSSI)
+	}
+}
+
+func TestCountersTxOncePerBroadcast(t *testing.T) {
+	positions := []geo.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 20, Y: 0}, {X: 30, Y: 0}}
+	tr := quietTransport(positions)
+	tr.Broadcast(0, RACH1, KindPulse, 0, 1)
+	tr.Broadcast(1, RACH2, KindConnect, 0, 2)
+	c := tr.Counters()
+	if c.Tx[RACH1] != 1 || c.Tx[RACH2] != 1 {
+		t.Errorf("tx counters = %+v", c.Tx)
+	}
+	if c.Rx[RACH1] != 3 {
+		t.Errorf("RACH1 rx = %d, want 3 (all others in range)", c.Rx[RACH1])
+	}
+	if c.TotalTx() != 2 {
+		t.Errorf("TotalTx = %d", c.TotalTx())
+	}
+	if c.TotalRx() != c.Rx[RACH1]+c.Rx[RACH2] {
+		t.Error("TotalRx mismatch")
+	}
+	tr.ResetCounters()
+	if tr.Counters().TotalTx() != 0 {
+		t.Error("ResetCounters failed")
+	}
+}
+
+func TestUnicast(t *testing.T) {
+	positions := []geo.Point{{X: 0, Y: 0}, {X: 40, Y: 0}, {X: 500, Y: 0}}
+	tr := quietTransport(positions)
+	msg, ok := tr.Unicast(0, 1, RACH2, KindConnect, 7, 5)
+	if !ok {
+		t.Fatal("in-range unicast failed")
+	}
+	if msg.From != 0 || msg.Service != 7 || msg.Kind != KindConnect {
+		t.Errorf("unicast message wrong: %+v", msg)
+	}
+	if _, ok := tr.Unicast(0, 2, RACH2, KindConnect, 0, 5); ok {
+		t.Error("unicast to 500 m should fail at 23 dBm")
+	}
+	c := tr.Counters()
+	if c.Tx[RACH2] != 2 || c.Rx[RACH2] != 1 {
+		t.Errorf("unicast counters = %+v", c)
+	}
+}
+
+func TestMeanRSSIMatchesChannel(t *testing.T) {
+	positions := []geo.Point{{X: 0, Y: 0}, {X: 10, Y: 0}}
+	tr := quietTransport(positions)
+	want := units.DBm(23 - 80) // PL(10 m) = 80 dB
+	if got := tr.MeanRSSI(0, 1); got != want {
+		t.Errorf("MeanRSSI = %v, want %v", got, want)
+	}
+	if tr.MeanRSSI(0, 1) != tr.MeanRSSI(1, 0) {
+		t.Error("MeanRSSI should be symmetric")
+	}
+}
+
+func TestDeterministicNeighbors(t *testing.T) {
+	positions := []geo.Point{{X: 0, Y: 0}, {X: 30, Y: 0}, {X: 85, Y: 0}, {X: 95, Y: 0}}
+	tr := quietTransport(positions)
+	got := tr.DeterministicNeighbors(0)
+	// Range ~89.1 m: devices at 30 and 85 are in, 95 is out.
+	want := map[int]bool{1: true, 2: true}
+	if len(got) != 2 {
+		t.Fatalf("neighbors = %v, want [1 2]", got)
+	}
+	for _, j := range got {
+		if !want[j] {
+			t.Fatalf("unexpected neighbor %d", j)
+		}
+	}
+}
+
+func TestShadowingMakesDetectionProbabilistic(t *testing.T) {
+	streams := xrand.NewStreams(2)
+	ch := radio.NewChannel(radio.PaperDualSlope(), 10, radio.FadingNone, streams)
+	// 89.1 m is the zero-noise detection boundary: with 10 dB shadowing,
+	// detection there should succeed roughly half the time.
+	positions := []geo.Point{{X: 0, Y: 0}, {X: 89, Y: 0}}
+	tr := NewTransport(ch, positions, 23, -95, 30)
+	detected := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		if len(tr.Broadcast(0, RACH1, KindPulse, 0, units.Slot(i))) > 0 {
+			detected++
+		}
+	}
+	frac := float64(detected) / trials
+	if frac < 0.35 || frac > 0.65 {
+		t.Errorf("boundary detection fraction = %v, want ~0.5", frac)
+	}
+}
+
+func TestMarginExtendsCandidates(t *testing.T) {
+	streams := xrand.NewStreams(3)
+	ch := radio.NewChannel(radio.PaperDualSlope(), 10, radio.FadingNone, streams)
+	positions := []geo.Point{{X: 0, Y: 0}, {X: 120, Y: 0}}
+	noMargin := NewTransport(ch, positions, 23, -95, 0)
+	withMargin := NewTransport(ch, positions, 23, -95, 30)
+	if noMargin.CandidateRadius() >= withMargin.CandidateRadius() {
+		t.Error("margin should extend the candidate radius")
+	}
+	// 120 m needs ~+11 dB of shadowing; with margin the device is at
+	// least probed, and over many trials some detections occur.
+	detected := 0
+	for i := 0; i < 3000; i++ {
+		if len(withMargin.Broadcast(0, RACH1, KindPulse, 0, units.Slot(i))) > 0 {
+			detected++
+		}
+	}
+	if detected == 0 {
+		t.Error("positive fades at 120 m should yield occasional detections")
+	}
+}
+
+func TestBroadcastSelfExcluded(t *testing.T) {
+	positions := []geo.Point{{X: 0, Y: 0}, {X: 5, Y: 0}}
+	tr := quietTransport(positions)
+	for _, d := range tr.Broadcast(0, RACH1, KindPulse, 0, 1) {
+		if d.To == 0 {
+			t.Fatal("device received its own broadcast")
+		}
+	}
+}
+
+func TestTransportAccessors(t *testing.T) {
+	positions := []geo.Point{{X: 1, Y: 2}, {X: 3, Y: 4}}
+	tr := quietTransport(positions)
+	if tr.N() != 2 {
+		t.Errorf("N = %d", tr.N())
+	}
+	if tr.Position(1) != (geo.Point{X: 3, Y: 4}) {
+		t.Errorf("Position(1) = %v", tr.Position(1))
+	}
+}
+
+func TestCodecAndKindStrings(t *testing.T) {
+	if RACH1.String() != "RACH1" || RACH2.String() != "RACH2" {
+		t.Error("codec names wrong")
+	}
+	if Codec(9).String() != "RACH(9)" {
+		t.Error("unknown codec format wrong")
+	}
+	names := map[Kind]string{
+		KindPulse: "pulse", KindReport: "report", KindDecision: "decision",
+		KindConnect: "connect", KindAccept: "accept",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("Kind %d = %q, want %q", k, k.String(), want)
+		}
+	}
+	if Kind(42).String() != "kind(42)" {
+		t.Error("unknown kind format wrong")
+	}
+}

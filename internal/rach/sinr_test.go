@@ -1,0 +1,106 @@
+package rach
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/radio"
+	"repro/internal/units"
+	"repro/internal/xrand"
+)
+
+func sinrTransport(positions []geo.Point, seed int64) *Transport {
+	streams := xrand.NewStreams(seed)
+	ch := radio.NewChannel(radio.PaperDualSlope(), 0, radio.FadingNone, streams)
+	// A positive candidate margin matters in SINR mode: sub-threshold
+	// arrivals within the margin still interfere (core passes 2σ).
+	tr := NewTransport(ch, positions, 23, -95, 10)
+	tr.SINRMode = true
+	tr.NoiseFloor = radio.NoiseFloor(radio.PRACHBandwidthHz, 9)
+	tr.RequiredSNRDB = float64(units.DBm(-95) - tr.NoiseFloor)
+	return tr
+}
+
+func TestSINRModeMatchesThresholdWithoutInterference(t *testing.T) {
+	// A single sender: SINR detection reduces to signal >= noise+required
+	// = -95 dBm, the Table I threshold. In-range and out-of-range cases
+	// must agree with the capture-mode transport.
+	positions := []geo.Point{{X: 0, Y: 0}, {X: 50, Y: 0}, {X: 200, Y: 0}}
+	tr := sinrTransport(positions, 1)
+	svc := func(int) int { return 0 }
+	dels := tr.BroadcastAll([]int{0}, RACH1, KindPulse, svc, 1)
+	// NOTE: single-sender BroadcastAll short-circuits to Broadcast, which
+	// uses the flat threshold — exercise the multi-sender path instead
+	// with a second sender far away.
+	positions2 := []geo.Point{{X: 0, Y: 0}, {X: 50, Y: 0}, {X: 2000, Y: 0}, {X: 2010, Y: 0}}
+	tr2 := sinrTransport(positions2, 2)
+	dels2 := tr2.BroadcastAll([]int{0, 2}, RACH1, KindPulse, svc, 1)
+	foundNear := false
+	for _, d := range dels2 {
+		if d.To == 1 && d.Msg.From == 0 {
+			foundNear = true
+		}
+	}
+	if !foundNear {
+		t.Error("device 1 at 50 m should decode the PS under SINR mode")
+	}
+	_ = dels
+}
+
+func TestSINRModeCollisionBlocksDecoding(t *testing.T) {
+	// Two equal-power senders equidistant from a receiver: SINR ≈ 0 dB,
+	// far below the ~9.7 dB requirement — nothing decodes.
+	positions := []geo.Point{{X: -30, Y: 0}, {X: 30, Y: 0}, {X: 0, Y: 0}}
+	tr := sinrTransport(positions, 3)
+	svc := func(int) int { return 0 }
+	for trial := 0; trial < 20; trial++ {
+		for _, d := range tr.BroadcastAll([]int{0, 1}, RACH1, KindPulse, svc, units.Slot(trial)) {
+			if d.To == 2 {
+				t.Fatal("equal-power collision should not decode under SINR mode")
+			}
+		}
+	}
+}
+
+func TestSINRModeSubThresholdInterferes(t *testing.T) {
+	// A wanted signal just above -95 dBm plus an interferer below the
+	// threshold: capture mode ignores the weak interferer entirely, SINR
+	// mode must not. Wanted at ~85 m (rx ≈ -94.2), interferer at ~110 m
+	// (rx ≈ -98.7, sub-threshold but only ~4.5 dB below the signal).
+	positions := []geo.Point{{X: -85, Y: 0}, {X: 110, Y: 0}, {X: 0, Y: 0}}
+	svc := func(int) int { return 0 }
+
+	capture := func() int {
+		streams := xrand.NewStreams(4)
+		ch := radio.NewChannel(radio.PaperDualSlope(), 0, radio.FadingNone, streams)
+		tr := NewTransport(ch, positions, 23, -95, 0)
+		tr.CaptureMarginDB = 6
+		n := 0
+		for trial := 0; trial < 50; trial++ {
+			for _, d := range tr.BroadcastAll([]int{0, 1}, RACH1, KindPulse, svc, units.Slot(trial)) {
+				if d.To == 2 && d.Msg.From == 0 {
+					n++
+				}
+			}
+		}
+		return n
+	}()
+	sinr := func() int {
+		tr := sinrTransport(positions, 5)
+		n := 0
+		for trial := 0; trial < 50; trial++ {
+			for _, d := range tr.BroadcastAll([]int{0, 1}, RACH1, KindPulse, svc, units.Slot(trial)) {
+				if d.To == 2 && d.Msg.From == 0 {
+					n++
+				}
+			}
+		}
+		return n
+	}()
+	if capture == 0 {
+		t.Fatal("capture mode should decode the wanted signal (interferer is sub-threshold)")
+	}
+	if sinr != 0 {
+		t.Errorf("SINR mode decoded %d times; the sub-threshold interferer leaves only ~4.5 dB SINR", sinr)
+	}
+}

@@ -1,0 +1,87 @@
+package radio
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestBlockFadingConstantWithinBlock(t *testing.T) {
+	b := NewBlockFading(50, FadingRayleigh, 1)
+	g0 := b.GainDB(3, 7, 0)
+	for slot := units.Slot(1); slot < 50; slot++ {
+		if b.GainDB(3, 7, slot) != g0 {
+			t.Fatalf("gain changed within the coherence block at slot %d", slot)
+		}
+	}
+	if b.GainDB(3, 7, 50) == g0 {
+		t.Error("gain should redraw in the next block (equality is measure-zero)")
+	}
+}
+
+func TestBlockFadingReciprocity(t *testing.T) {
+	b := NewBlockFading(20, FadingRayleigh, 2)
+	for slot := units.Slot(0); slot < 100; slot += 7 {
+		if b.GainDB(4, 9, slot) != b.GainDB(9, 4, slot) {
+			t.Fatalf("link gain not reciprocal at slot %d", slot)
+		}
+	}
+}
+
+func TestBlockFadingLinksIndependent(t *testing.T) {
+	b := NewBlockFading(10, FadingRayleigh, 3)
+	same := 0
+	for slot := units.Slot(0); slot < 1000; slot += 10 {
+		if b.GainDB(0, 1, slot) == b.GainDB(0, 2, slot) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different links shared a gain %d times", same)
+	}
+}
+
+func TestBlockFadingUnitMeanPower(t *testing.T) {
+	b := NewBlockFading(1, FadingRayleigh, 4)
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += math.Pow(10, b.GainDB(0, 1, units.Slot(i))/10)
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.03 {
+		t.Errorf("linear power mean = %v, want ~1", mean)
+	}
+}
+
+func TestBlockFadingDeterministic(t *testing.T) {
+	a := NewBlockFading(10, FadingRician, 5)
+	b := NewBlockFading(10, FadingRician, 5)
+	for slot := units.Slot(0); slot < 50; slot += 5 {
+		if a.GainDB(1, 2, slot) != b.GainDB(1, 2, slot) {
+			t.Fatal("same-seed models diverge")
+		}
+	}
+	c := NewBlockFading(10, FadingRician, 6)
+	if a.GainDB(1, 2, 0) == c.GainDB(1, 2, 0) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestBlockFadingDisabled(t *testing.T) {
+	var nilModel *BlockFading
+	if nilModel.GainDB(0, 1, 0) != 0 {
+		t.Error("nil model should be transparent")
+	}
+	b := NewBlockFading(10, FadingNone, 7)
+	if b.GainDB(0, 1, 0) != 0 {
+		t.Error("FadingNone should be transparent")
+	}
+}
+
+func TestBlockFadingCoherenceClamp(t *testing.T) {
+	b := NewBlockFading(0, FadingRayleigh, 8)
+	if b.CoherenceSlots != 1 {
+		t.Errorf("coherence clamped to %d, want 1", b.CoherenceSlots)
+	}
+}

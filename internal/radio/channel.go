@@ -1,0 +1,162 @@
+package radio
+
+import (
+	"math"
+
+	"repro/internal/units"
+	"repro/internal/xrand"
+)
+
+// Fading identifies the fast-fading model applied on top of path loss and
+// shadowing.
+type Fading int
+
+const (
+	// FadingNone disables fast fading.
+	FadingNone Fading = iota
+	// FadingRayleigh is the UMi NLOS fast fading of Table I: a unit-mean
+	// exponentially distributed power gain (Rayleigh envelope).
+	FadingRayleigh
+	// FadingRician approximates a LOS-dominated link with Rician K-factor
+	// KdB (see Channel.RicianKdB).
+	FadingRician
+)
+
+// String implements fmt.Stringer for configuration tables.
+func (f Fading) String() string {
+	switch f {
+	case FadingNone:
+		return "none"
+	case FadingRayleigh:
+		return "UMi (NLOS) Rayleigh"
+	case FadingRician:
+		return "Rician"
+	default:
+		return "unknown"
+	}
+}
+
+// Channel composes the deterministic path loss with stochastic shadowing and
+// fast fading. It is the single point the protocol layers use to ask "what
+// power does receiver j see when device i transmits?", i.e. eq. (9):
+//
+//	p*** = p* + 10·n·log10(r/r0) + x
+//
+// generalised to an arbitrary PathLoss and an optional fading term.
+type Channel struct {
+	// Model is the deterministic path-loss model.
+	Model PathLoss
+	// ShadowSigmaDB is the log-normal shadowing standard deviation in dB
+	// (Table I: 10 dB). Zero disables shadowing.
+	ShadowSigmaDB float64
+	// Fading selects the fast-fading model.
+	Fading Fading
+	// RicianKdB is the Rician K-factor in dB, used when Fading ==
+	// FadingRician.
+	RicianKdB float64
+
+	shadow *xrand.Stream
+	fade   *xrand.Stream
+}
+
+// NewChannel builds a channel drawing its stochastic terms from the named
+// streams "shadowing" and "fading" of the given factory.
+func NewChannel(model PathLoss, shadowSigmaDB float64, fading Fading, streams *xrand.Streams) *Channel {
+	return &Channel{
+		Model:         model,
+		ShadowSigmaDB: shadowSigmaDB,
+		Fading:        fading,
+		RicianKdB:     6,
+		shadow:        streams.Get("shadowing"),
+		fade:          streams.Get("fading"),
+	}
+}
+
+// PaperChannel returns the channel configured exactly as Table I: dual-slope
+// path loss, 10 dB shadowing, UMi NLOS (Rayleigh) fast fading.
+func PaperChannel(streams *xrand.Streams) *Channel {
+	return NewChannel(PaperDualSlope(), 10, FadingRayleigh, streams)
+}
+
+// MeanReceivedPower returns the expected received power at distance d when
+// transmitting at txPower — path loss only, no shadowing or fading. This is
+// eq. (7)/(10)'s deterministic part and what an RSSI-averaging receiver
+// converges to.
+func (c *Channel) MeanReceivedPower(txPower units.DBm, d units.Metre) units.DBm {
+	return txPower.Sub(c.Model.Loss(d))
+}
+
+// Sample returns one received-power sample at distance d: mean received
+// power plus a fresh shadowing draw plus a fresh fading draw. Each call is
+// an independent channel realisation, modelling a new PS transmission.
+func (c *Channel) Sample(txPower units.DBm, d units.Metre) units.DBm {
+	p := c.MeanReceivedPower(txPower, d)
+	p = p.Add(units.DB(c.ShadowingDB()))
+	p = p.Add(units.DB(c.FadingDB()))
+	return p
+}
+
+// ShadowingDB draws one shadowing value in dB (the random variable x of
+// eq. (9): zero-mean Gaussian with variance sigma^2).
+func (c *Channel) ShadowingDB() float64 {
+	if c.ShadowSigmaDB == 0 || c.shadow == nil {
+		return 0
+	}
+	return c.shadow.LogNormalDB(c.ShadowSigmaDB)
+}
+
+// FadingDB draws one fast-fading power gain in dB.
+func (c *Channel) FadingDB() float64 {
+	if c.fade == nil {
+		return 0
+	}
+	switch c.Fading {
+	case FadingRayleigh:
+		return c.fade.RayleighPowerDB()
+	case FadingRician:
+		return ricianPowerDB(c.fade, c.RicianKdB)
+	default:
+		return 0
+	}
+}
+
+// ricianPowerDB draws the power gain (dB) of a unit-mean Rician channel with
+// K-factor kDB, via the standard two-Gaussian construction: a fixed LOS
+// component of power K/(K+1) plus a scattered complex Gaussian of power
+// 1/(K+1).
+func ricianPowerDB(s *xrand.Stream, kDB float64) float64 {
+	k := units.DB(kDB).LinearRatio()
+	losAmp := math.Sqrt(k / (k + 1))
+	scatterSigma := math.Sqrt(1 / (2 * (k + 1)))
+	re := losAmp + scatterSigma*s.Norm()
+	im := scatterSigma * s.Norm()
+	g := re*re + im*im
+	return float64(units.DBFromLinear(g))
+}
+
+// LinkBudget describes a one-way link evaluation: the deterministic pieces
+// and the stochastic draws that produced a sample. Useful for tracing why a
+// PS was or was not detected.
+type LinkBudget struct {
+	TxPower     units.DBm
+	Distance    units.Metre
+	PathLossDB  units.DB
+	ShadowingDB float64
+	FadingDB    float64
+	Received    units.DBm
+}
+
+// Budget returns a fully itemised received-power sample.
+func (c *Channel) Budget(txPower units.DBm, d units.Metre) LinkBudget {
+	pl := c.Model.Loss(d)
+	sh := c.ShadowingDB()
+	fd := c.FadingDB()
+	return LinkBudget{
+		TxPower:     txPower,
+		Distance:    d,
+		PathLossDB:  pl,
+		ShadowingDB: sh,
+		FadingDB:    fd,
+		Received:    txPower.Sub(pl).Add(units.DB(sh)).Add(units.DB(fd)),
+	}
+}

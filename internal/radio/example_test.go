@@ -1,0 +1,43 @@
+package radio_test
+
+import (
+	"fmt"
+
+	"repro/internal/radio"
+)
+
+// ExamplePaperDualSlope evaluates the Table I propagation model.
+func ExamplePaperDualSlope() {
+	m := radio.PaperDualSlope()
+	fmt.Printf("PL(3 m)  = %.1f dB\n", float64(m.Loss(3)))
+	fmt.Printf("PL(10 m) = %.1f dB\n", float64(m.Loss(10)))
+	fmt.Printf("PL(100 m) = %.1f dB\n", float64(m.Loss(100)))
+	// Output:
+	// PL(3 m)  = 16.3 dB
+	// PL(10 m) = 80.0 dB
+	// PL(100 m) = 120.0 dB
+}
+
+// ExampleMaxRange computes the deterministic coverage radius of Table I's
+// link budget: 23 dBm transmit power against a −95 dBm threshold.
+func ExampleMaxRange() {
+	r := radio.MaxRange(radio.PaperDualSlope(), 23, -95, 10000)
+	fmt.Printf("%.1f m\n", float64(r))
+	// Output: 89.1 m
+}
+
+// ExampleSelectMCS picks the LTE operating point for a 12 dB SINR.
+func ExampleSelectMCS() {
+	m, ok := radio.SelectMCS(12)
+	fmt.Println(ok, m.Index, m.SpectralEff)
+	// Output: true 10 2.7305
+}
+
+// ExampleNoiseFloor grounds the paper's −95 dBm threshold: PRACH bandwidth
+// plus a 9 dB noise figure puts thermal noise at −104.7 dBm, so the
+// threshold corresponds to a ~9.7 dB detection SNR.
+func ExampleNoiseFloor() {
+	n := radio.NoiseFloor(radio.PRACHBandwidthHz, 9)
+	fmt.Printf("%.1f dBm\n", float64(n))
+	// Output: -104.7 dBm
+}

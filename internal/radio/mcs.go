@@ -1,0 +1,71 @@
+package radio
+
+import (
+	"math"
+
+	"repro/internal/units"
+)
+
+// LTE link-level abstraction: the CQI/MCS table mapping SINR to a discrete
+// spectral efficiency, and a logistic block-error-rate model around each
+// MCS's switching threshold. This is the standard "link abstraction" the
+// Vienna simulator family uses so that system-level studies don't simulate
+// coded bits; the spectrum package uses it to turn underlay SINRs into
+// discrete achievable rates.
+
+// MCS is one modulation-and-coding scheme operating point.
+type MCS struct {
+	// Index is the CQI index (1..15).
+	Index int
+	// SpectralEff is the nominal spectral efficiency in bit/s/Hz.
+	SpectralEff float64
+	// ThresholdDB is the SINR at which the scheme reaches ~10% BLER (the
+	// LTE link-adaptation target).
+	ThresholdDB float64
+}
+
+// MCSTable is the LTE CQI table (36.213) with commonly used AWGN switching
+// thresholds.
+var MCSTable = []MCS{
+	{1, 0.1523, -6.7}, {2, 0.2344, -4.7}, {3, 0.3770, -2.3},
+	{4, 0.6016, 0.2}, {5, 0.8770, 2.4}, {6, 1.1758, 4.3},
+	{7, 1.4766, 5.9}, {8, 1.9141, 8.1}, {9, 2.4063, 10.3},
+	{10, 2.7305, 11.7}, {11, 3.3223, 14.1}, {12, 3.9023, 16.3},
+	{13, 4.5234, 18.7}, {14, 5.1152, 21.0}, {15, 5.5547, 22.7},
+}
+
+// SelectMCS returns the highest-rate scheme whose threshold the SINR meets,
+// and false when even CQI 1 is out of reach (outage).
+func SelectMCS(sinr units.DB) (MCS, bool) {
+	var best MCS
+	found := false
+	for _, m := range MCSTable {
+		if float64(sinr) >= m.ThresholdDB {
+			best = m
+			found = true
+		}
+	}
+	return best, found
+}
+
+// BLER returns the block error rate of scheme m at the given SINR under the
+// logistic AWGN approximation: 10% at the threshold, waterfalling at about
+// 1 dB per decade around it.
+func BLER(sinr units.DB, m MCS) float64 {
+	// Logistic calibrated to BLER(threshold) = 0.1 with waterfall slope k:
+	// BLER(x) = 1 / (1 + 9·e^{k·x}), x in dB above the threshold.
+	const k = 2.2 // per dB; typical turbo-code waterfall steepness
+	x := float64(sinr) - m.ThresholdDB
+	return 1 / (1 + 9*math.Exp(k*x))
+}
+
+// EffectiveRate returns the throughput in bit/s/Hz at the given SINR under
+// link adaptation: the selected MCS's nominal rate scaled by (1 − BLER).
+// Outage yields zero.
+func EffectiveRate(sinr units.DB) float64 {
+	m, ok := SelectMCS(sinr)
+	if !ok {
+		return 0
+	}
+	return m.SpectralEff * (1 - BLER(sinr, m))
+}

@@ -1,0 +1,99 @@
+package radio
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestMCSTableOrdered(t *testing.T) {
+	for i := 1; i < len(MCSTable); i++ {
+		if MCSTable[i].SpectralEff <= MCSTable[i-1].SpectralEff {
+			t.Errorf("spectral efficiency not increasing at index %d", i)
+		}
+		if MCSTable[i].ThresholdDB <= MCSTable[i-1].ThresholdDB {
+			t.Errorf("thresholds not increasing at index %d", i)
+		}
+		if MCSTable[i].Index != MCSTable[i-1].Index+1 {
+			t.Errorf("CQI indices not consecutive at %d", i)
+		}
+	}
+	if len(MCSTable) != 15 {
+		t.Errorf("CQI table has %d entries, want 15", len(MCSTable))
+	}
+}
+
+func TestSelectMCS(t *testing.T) {
+	// Deep outage.
+	if _, ok := SelectMCS(-20); ok {
+		t.Error("-20 dB should be outage")
+	}
+	// Just above CQI 1.
+	m, ok := SelectMCS(-6)
+	if !ok || m.Index != 1 {
+		t.Errorf("-6 dB selected %+v", m)
+	}
+	// Very high SINR: top CQI.
+	m, ok = SelectMCS(40)
+	if !ok || m.Index != 15 {
+		t.Errorf("40 dB selected %+v", m)
+	}
+	// Mid-range: 10.5 dB sits between CQI 9 (10.3) and CQI 10 (11.7).
+	m, _ = SelectMCS(10.5)
+	if m.Index != 9 {
+		t.Errorf("10.5 dB selected CQI %d, want 9", m.Index)
+	}
+}
+
+func TestBLERAnchors(t *testing.T) {
+	m := MCSTable[7]
+	// 10% at the threshold.
+	if got := BLER(units.DB(m.ThresholdDB), m); math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("BLER at threshold = %v, want 0.1", got)
+	}
+	// Monotone decreasing in SINR; bounded in (0,1).
+	prev := 1.0
+	for s := m.ThresholdDB - 10; s < m.ThresholdDB+10; s += 0.5 {
+		b := BLER(units.DB(s), m)
+		if b <= 0 || b >= 1 {
+			t.Fatalf("BLER out of (0,1): %v", b)
+		}
+		if b > prev {
+			t.Fatalf("BLER not monotone at %v dB", s)
+		}
+		prev = b
+	}
+	// Far below threshold: near 1. Far above: near 0.
+	if BLER(units.DB(m.ThresholdDB-10), m) < 0.99 {
+		t.Error("deep fade should be ~certain loss")
+	}
+	if BLER(units.DB(m.ThresholdDB+10), m) > 0.001 {
+		t.Error("high SINR should be ~error-free")
+	}
+}
+
+func TestEffectiveRate(t *testing.T) {
+	if EffectiveRate(-30) != 0 {
+		t.Error("outage should yield zero rate")
+	}
+	// Effective rate is monotone non-decreasing in SINR, up to small MCS
+	// switching dips; test coarse monotonicity on a 2 dB grid.
+	prev := -1.0
+	for s := -8.0; s <= 30; s += 2 {
+		r := EffectiveRate(units.DB(s))
+		if r < prev-0.2 {
+			t.Fatalf("effective rate dropped hard at %v dB: %v -> %v", s, prev, r)
+		}
+		if r > prev {
+			prev = r
+		}
+	}
+	// Discrete link adaptation can never beat Shannon.
+	for s := -6.0; s <= 25; s += 1.3 {
+		shannon := math.Log2(1 + units.DB(s).LinearRatio())
+		if r := EffectiveRate(units.DB(s)); r > shannon {
+			t.Fatalf("effective rate %v beats Shannon %v at %v dB", r, shannon, s)
+		}
+	}
+}

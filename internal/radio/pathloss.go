@@ -1,0 +1,149 @@
+// Package radio implements the wireless channel substrate the paper's
+// simulation rests on: deterministic path-loss models (including the exact
+// dual-slope model of Table I), log-normal shadowing, Rayleigh/Rician fast
+// fading, and a composable Channel that turns (TX power, distance) into a
+// received-power sample in dBm.
+//
+// The paper evaluates its algorithms on an outdoor urban-micro non-line-of-
+// sight (UMi NLOS) channel taken from the Vienna LTE simulator line of work
+// and 3GPP R1-130598; this package rebuilds those pieces from the published
+// formulas so the PS-strength code paths behave the same way.
+package radio
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// PathLoss is a deterministic distance-dependent loss model, returning the
+// loss in dB at distance d (metres). Implementations must be monotonically
+// non-decreasing in d over their valid range.
+type PathLoss interface {
+	// Loss returns the path loss in dB at distance d metres.
+	Loss(d units.Metre) units.DB
+	// Name identifies the model in configuration tables.
+	Name() string
+}
+
+// DualSlope is the propagation model of Table I:
+//
+//	PL = 4.35 + 25·log10(d)   if d < BreakDistance
+//	PL = 40.0 + 40·log10(d)   otherwise
+//
+// with the paper's break distance of 6 m. The two branches intersect near
+// d = 6.2 m, so the model is effectively continuous at the break.
+type DualSlope struct {
+	// BreakDistance separates the near and far slopes, in metres.
+	BreakDistance units.Metre
+	// NearIntercept, NearSlope define PL below the break.
+	NearIntercept, NearSlope float64
+	// FarIntercept, FarSlope define PL at or beyond the break.
+	FarIntercept, FarSlope float64
+}
+
+// PaperDualSlope returns the dual-slope model with exactly the constants of
+// Table I in the paper.
+func PaperDualSlope() DualSlope {
+	return DualSlope{
+		BreakDistance: 6,
+		NearIntercept: 4.35, NearSlope: 25,
+		FarIntercept: 40.0, FarSlope: 40,
+	}
+}
+
+// Loss implements PathLoss. Distances below 1 m are clamped to 1 m so the
+// log10 never goes negative (standard close-in reference distance handling).
+func (m DualSlope) Loss(d units.Metre) units.DB {
+	dd := math.Max(float64(d), 1)
+	if dd < float64(m.BreakDistance) {
+		return units.DB(m.NearIntercept + m.NearSlope*math.Log10(dd))
+	}
+	return units.DB(m.FarIntercept + m.FarSlope*math.Log10(dd))
+}
+
+// Name implements PathLoss.
+func (m DualSlope) Name() string { return "dual-slope(Table I)" }
+
+// LogDistance is the classic log-distance model of eq. (7):
+//
+//	PL(d) = PL(d0) + 10·n·log10(d/d0)
+//
+// where n is the path-loss exponent (the paper uses n = 2 indoor and n = 4
+// outdoor) and PL(d0) the loss at the reference distance d0.
+type LogDistance struct {
+	// Exponent is the path-loss exponent n.
+	Exponent float64
+	// RefDistance is d0 in metres (commonly 1 m).
+	RefDistance units.Metre
+	// RefLoss is the loss at d0 in dB.
+	RefLoss units.DB
+}
+
+// OutdoorLogDistance returns the outdoor configuration the paper describes
+// in Section III (n = 4), referenced to free-space loss at 1 m for 2 GHz.
+func OutdoorLogDistance() LogDistance {
+	return LogDistance{Exponent: 4, RefDistance: 1, RefLoss: FreeSpace{FrequencyGHz: 2}.Loss(1)}
+}
+
+// IndoorLogDistance returns the indoor configuration (n = 2) on the same
+// 1 m free-space reference.
+func IndoorLogDistance() LogDistance {
+	return LogDistance{Exponent: 2, RefDistance: 1, RefLoss: FreeSpace{FrequencyGHz: 2}.Loss(1)}
+}
+
+// Loss implements PathLoss.
+func (m LogDistance) Loss(d units.Metre) units.DB {
+	dd := math.Max(float64(d), float64(m.RefDistance))
+	return m.RefLoss + units.DB(10*m.Exponent*math.Log10(dd/float64(m.RefDistance)))
+}
+
+// Name implements PathLoss.
+func (m LogDistance) Name() string {
+	return fmt.Sprintf("log-distance(n=%.1f)", m.Exponent)
+}
+
+// FreeSpace is the Friis free-space model, used as a reference-loss anchor
+// and for sanity baselines.
+type FreeSpace struct {
+	// FrequencyGHz is the carrier frequency in GHz.
+	FrequencyGHz float64
+}
+
+// Loss implements PathLoss: 20·log10(d) + 20·log10(f_MHz) − 27.55 dB.
+func (m FreeSpace) Loss(d units.Metre) units.DB {
+	dd := math.Max(float64(d), 1)
+	fMHz := m.FrequencyGHz * 1000
+	return units.DB(20*math.Log10(dd) + 20*math.Log10(fMHz) - 27.55)
+}
+
+// Name implements PathLoss.
+func (m FreeSpace) Name() string {
+	return fmt.Sprintf("free-space(%.1f GHz)", m.FrequencyGHz)
+}
+
+// MaxRange returns the largest distance at which txPower minus the model's
+// loss still meets threshold, found by bisection over [1, hi] metres. It
+// returns 0 if even 1 m is below threshold, and hi if hi is still in range.
+// This is the deterministic (zero-fading) coverage radius used to size
+// spatial-index cells and neighbourhood candidate sets.
+func MaxRange(m PathLoss, txPower, threshold units.DBm, hi units.Metre) units.Metre {
+	inRange := func(d units.Metre) bool { return txPower.Sub(m.Loss(d)).AtLeast(threshold) }
+	if !inRange(1) {
+		return 0
+	}
+	if inRange(hi) {
+		return hi
+	}
+	lo, hiF := 1.0, float64(hi)
+	for i := 0; i < 60; i++ {
+		mid := (lo + hiF) / 2
+		if inRange(units.Metre(mid)) {
+			lo = mid
+		} else {
+			hiF = mid
+		}
+	}
+	return units.Metre(lo)
+}

@@ -1,0 +1,70 @@
+package radio
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// WinnerB1 is the WINNER II / 3GPP-style urban-micro (UMi) street-canyon
+// model referenced by the D2D channel-model discussions the paper cites
+// (R1-130598 builds its D2D proposals on these). It generalizes the
+// paper's dual-slope Table I model with an explicit carrier-frequency term
+// and a breakpoint distance derived from antenna heights:
+//
+//	LOS,  d < dBP:  PL = 22.7·log10(d) + 41.0 + 20·log10(f/5)
+//	LOS,  d ≥ dBP:  PL = 40.0·log10(d) + 9.45 − 17.3·log10(h'₁h'₂) + 2.7·log10(f/5)
+//	NLOS:           PL = (44.9 − 6.55·log10(h₁))·log10(d) + 34.46 + 5.83·log10(h₁) + 23·log10(f/5)
+//
+// with f in GHz, heights in metres, and dBP = 4·h'₁·h'₂·f·10⁹/c using
+// effective heights h' = h − 1 m. For D2D both ends are handheld devices at
+// ~1.5 m.
+type WinnerB1 struct {
+	// FrequencyGHz is the carrier frequency (LTE band 7 ≈ 2.6 GHz; the
+	// D2D studies commonly use 2 GHz).
+	FrequencyGHz float64
+	// TxHeightM, RxHeightM are antenna heights in metres (1.5 m devices).
+	TxHeightM, RxHeightM float64
+	// LOS selects the line-of-sight branch; Table I's scenario is NLOS.
+	LOS bool
+}
+
+// PaperWinnerB1 returns the UMi NLOS configuration matching the paper's
+// outdoor D2D scenario: 2 GHz, both devices at 1.5 m.
+func PaperWinnerB1() WinnerB1 {
+	return WinnerB1{FrequencyGHz: 2, TxHeightM: 1.5, RxHeightM: 1.5, LOS: false}
+}
+
+// Breakpoint returns the LOS breakpoint distance dBP in metres.
+func (m WinnerB1) Breakpoint() units.Metre {
+	const c = 299792458.0
+	h1 := math.Max(m.TxHeightM-1, 0.1)
+	h2 := math.Max(m.RxHeightM-1, 0.1)
+	return units.Metre(4 * h1 * h2 * m.FrequencyGHz * 1e9 / c)
+}
+
+// Loss implements PathLoss.
+func (m WinnerB1) Loss(d units.Metre) units.DB {
+	dd := math.Max(float64(d), 3) // WINNER validity floor
+	fTerm := m.FrequencyGHz / 5
+	if m.LOS {
+		if dd < float64(m.Breakpoint()) {
+			return units.DB(22.7*math.Log10(dd) + 41.0 + 20*math.Log10(fTerm))
+		}
+		h1 := math.Max(m.TxHeightM-1, 0.1)
+		h2 := math.Max(m.RxHeightM-1, 0.1)
+		return units.DB(40*math.Log10(dd) + 9.45 - 17.3*math.Log10(h1*h2) + 2.7*math.Log10(fTerm))
+	}
+	h1 := math.Max(m.TxHeightM, 1)
+	return units.DB((44.9-6.55*math.Log10(h1))*math.Log10(dd) + 34.46 + 5.83*math.Log10(h1) + 23*math.Log10(fTerm))
+}
+
+// Name implements PathLoss.
+func (m WinnerB1) Name() string {
+	kind := "NLOS"
+	if m.LOS {
+		kind = "LOS"
+	}
+	return fmt.Sprintf("WINNER-B1-%s(%.1f GHz)", kind, m.FrequencyGHz)
+}

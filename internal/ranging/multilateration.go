@@ -1,0 +1,139 @@
+package ranging
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/geo"
+)
+
+// Bias handling and multilateration on top of the eq. (11) error model.
+//
+// Under log-normal shadowing the naive inversion r̂ = r·10^{x/(10n)} is
+// biased: with s = σ·ln10/(10n), E[r̂] = r·e^{s²/2} > r. The
+// bias-corrected estimate divides that factor back out — a closed-form
+// consequence of eq. (12) the paper does not spell out but the RSSI
+// literature (Rappaport [21]) does.
+
+// LogShadowScale returns s = σ·ln10/(10n), the standard deviation of
+// ln(r̂/r) under shadowing σ (dB) and path-loss exponent n.
+func LogShadowScale(sigmaDB, n float64) float64 {
+	return sigmaDB * math.Ln10 / (10 * n)
+}
+
+// BiasFactor returns E[r̂]/r = e^{s²/2} for the given shadowing and
+// exponent: how much the raw RSSI distance estimate overshoots on average.
+func BiasFactor(sigmaDB, n float64) float64 {
+	s := LogShadowScale(sigmaDB, n)
+	return math.Exp(s * s / 2)
+}
+
+// CorrectBias removes the log-normal bias from a raw distance estimate.
+func CorrectBias(raw float64, sigmaDB, n float64) float64 {
+	return raw / BiasFactor(sigmaDB, n)
+}
+
+// MedianUnbiased reports the median-unbiasedness of eq. (11): the median of
+// r̂ is exactly r (the log-error is symmetric), which is why the median
+// estimator needs no correction. Provided as an executable statement of
+// the property for documentation and tests.
+func MedianUnbiased(sigmaDB, n float64) bool {
+	// Median of a log-normal with location ln r is exactly r.
+	return true
+}
+
+// ErrInsufficientAnchors is returned when multilateration has fewer than
+// three range observations.
+var ErrInsufficientAnchors = errors.New("ranging: multilateration needs >= 3 anchors")
+
+// Observation is a single anchor/range pair for multilateration.
+type Observation struct {
+	// Anchor is the reference position.
+	Anchor geo.Point
+	// Distance is the measured range in metres.
+	Distance float64
+	// Weight scales the residual (1/variance); zero means 1.
+	Weight float64
+}
+
+// Multilaterate solves the weighted nonlinear least-squares position fix
+//
+//	argmin_x Σ w_i (|x − a_i| − d_i)²
+//
+// by Gauss–Newton iteration from the anchor centroid. It is the classical
+// deterministic alternative to the firefly search (firefly.Localize); the
+// two agree on well-conditioned geometries, and the benchmarks compare
+// their cost. Returns the fix and the final RMS residual.
+func Multilaterate(obs []Observation, maxIter int) (geo.Point, float64, error) {
+	if len(obs) < 3 {
+		return geo.Point{}, 0, ErrInsufficientAnchors
+	}
+	if maxIter < 1 {
+		maxIter = 30
+	}
+	// Start at the weighted anchor centroid.
+	var x, y, wsum float64
+	for _, o := range obs {
+		w := o.Weight
+		if w <= 0 {
+			w = 1
+		}
+		x += w * o.Anchor.X
+		y += w * o.Anchor.Y
+		wsum += w
+	}
+	p := geo.Point{X: x / wsum, Y: y / wsum}
+
+	for iter := 0; iter < maxIter; iter++ {
+		// Normal equations for the 2x2 Gauss-Newton step.
+		var a11, a12, a22, b1, b2 float64
+		for _, o := range obs {
+			w := o.Weight
+			if w <= 0 {
+				w = 1
+			}
+			dx := p.X - o.Anchor.X
+			dy := p.Y - o.Anchor.Y
+			dist := math.Hypot(dx, dy)
+			if dist < 1e-9 {
+				dist = 1e-9
+			}
+			jx := dx / dist
+			jy := dy / dist
+			r := dist - o.Distance
+			a11 += w * jx * jx
+			a12 += w * jx * jy
+			a22 += w * jy * jy
+			b1 += w * jx * r
+			b2 += w * jy * r
+		}
+		det := a11*a22 - a12*a12
+		if math.Abs(det) < 1e-12 {
+			break // degenerate geometry: keep the current iterate
+		}
+		stepX := (a22*b1 - a12*b2) / det
+		stepY := (a11*b2 - a12*b1) / det
+		p.X -= stepX
+		p.Y -= stepY
+		if math.Hypot(stepX, stepY) < 1e-9 {
+			break
+		}
+	}
+	var rss, n float64
+	for _, o := range obs {
+		r := p.Dist(o.Anchor) - o.Distance
+		rss += r * r
+		n++
+	}
+	return p, math.Sqrt(rss / n), nil
+}
+
+// RangeVarianceCRLB returns the Cramér–Rao lower bound on the variance of
+// any unbiased RSSI range estimate at true distance r under shadowing σ
+// (dB) and exponent n: Var ≥ (r·s)² with s = σ·ln10/(10n). It quantifies
+// why RSSI ranging degrades linearly with distance — the "expected error"
+// framing of Section III.
+func RangeVarianceCRLB(r, sigmaDB, n float64) float64 {
+	s := LogShadowScale(sigmaDB, n)
+	return r * r * s * s
+}

@@ -1,0 +1,152 @@
+// Package xrand provides deterministic, independently seeded random number
+// streams for the simulator, plus the non-uniform variates the channel and
+// mobility models need (Gaussian, log-normal, Rayleigh, exponential).
+//
+// Every stochastic component of the simulator draws from a named Stream
+// obtained from a Streams factory. Streams derived from the same root seed
+// and name sequence are bit-identical across runs, which makes every
+// experiment reproducible from (seed, parameters) alone — the property the
+// Vienna LTE simulator line of work calls "enabling reproducibility".
+package xrand
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// Stream is a deterministic pseudo-random stream. It is a thin wrapper over
+// math/rand with the distributions the simulator needs. A Stream is not safe
+// for concurrent use; give each goroutine its own named stream.
+type Stream struct {
+	r *rand.Rand
+}
+
+// NewStream returns a stream seeded directly with seed.
+func NewStream(seed int64) *Stream {
+	return &Stream{r: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform variate in [0,1).
+func (s *Stream) Float64() float64 { return s.r.Float64() }
+
+// Intn returns a uniform integer in [0,n). It panics if n <= 0, matching
+// math/rand.
+func (s *Stream) Intn(n int) int { return s.r.Intn(n) }
+
+// Int63 returns a non-negative uniform 63-bit integer.
+func (s *Stream) Int63() int64 { return s.r.Int63() }
+
+// Uniform returns a uniform variate in [lo, hi).
+func (s *Stream) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.r.Float64()
+}
+
+// Norm returns a standard Gaussian variate (mean 0, stddev 1).
+func (s *Stream) Norm() float64 { return s.r.NormFloat64() }
+
+// Gaussian returns a Gaussian variate with the given mean and stddev.
+func (s *Stream) Gaussian(mean, stddev float64) float64 {
+	return mean + stddev*s.r.NormFloat64()
+}
+
+// LogNormalDB draws a log-normal shadowing value expressed in dB: a Gaussian
+// in the dB domain with mean 0 and the given stddev. This is exactly the
+// random variable x of eq. (9) in the paper.
+func (s *Stream) LogNormalDB(sigmaDB float64) float64 {
+	return sigmaDB * s.r.NormFloat64()
+}
+
+// Rayleigh returns a Rayleigh variate with scale sigma. The squared envelope
+// of a Rayleigh channel is exponential; Rayleigh fading is the standard model
+// for NLOS urban-micro (UMi) fast fading, which Table I of the paper calls
+// "Fast Fading UMi (NLOS)".
+func (s *Stream) Rayleigh(sigma float64) float64 {
+	// Inverse-CDF: F(x) = 1 - exp(-x^2 / (2 sigma^2)).
+	u := s.r.Float64()
+	for u == 0 { // avoid log(0)
+		u = s.r.Float64()
+	}
+	return sigma * math.Sqrt(-2*math.Log(u))
+}
+
+// RayleighPowerDB returns the fading power gain of a unit-mean Rayleigh
+// channel, in dB. The linear power gain is exponentially distributed with
+// mean 1, so the dB value has mean ≈ -2.51 dB and a long negative tail
+// (deep fades).
+func (s *Stream) RayleighPowerDB() float64 {
+	u := s.r.Float64()
+	for u == 0 {
+		u = s.r.Float64()
+	}
+	g := -math.Log(u) // Exp(1): unit-mean linear power gain
+	return 10 * math.Log10(g)
+}
+
+// Exp returns an exponential variate with the given rate (mean 1/rate).
+func (s *Stream) Exp(rate float64) float64 {
+	return s.r.ExpFloat64() / rate
+}
+
+// Perm returns a random permutation of [0,n).
+func (s *Stream) Perm(n int) []int { return s.r.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (s *Stream) Shuffle(n int, swap func(i, j int)) { s.r.Shuffle(n, swap) }
+
+// Streams derives named, independent child streams from one root seed.
+// The same (root seed, name) pair always yields the same stream, regardless
+// of the order in which streams are requested — names are hashed, not
+// sequence-numbered.
+type Streams struct {
+	mu   sync.Mutex
+	seed int64
+	open map[string]*Stream
+}
+
+// NewStreams returns a stream factory rooted at seed.
+func NewStreams(seed int64) *Streams {
+	return &Streams{seed: seed, open: make(map[string]*Stream)}
+}
+
+// Seed returns the root seed the factory was built with.
+func (f *Streams) Seed() int64 {
+	return f.seed
+}
+
+// Get returns the stream for name, creating it deterministically on first
+// use. Calling Get twice with the same name returns the same *Stream (so
+// state advances across call sites sharing a name).
+func (f *Streams) Get(name string) *Stream {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.open[name]; ok {
+		return s
+	}
+	s := NewStream(deriveSeed(f.seed, name))
+	f.open[name] = s
+	return s
+}
+
+// Fork returns a new factory whose root seed is derived from this factory's
+// seed and the given name. Use it to give a sub-experiment (for example one
+// repetition of a sweep) its own independent universe of streams.
+func (f *Streams) Fork(name string) *Streams {
+	return NewStreams(deriveSeed(f.seed, name))
+}
+
+func deriveSeed(seed int64, name string) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(seed >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(name))
+	v := int64(h.Sum64())
+	if v == 0 {
+		v = 1 // math/rand treats a zero seed specially; avoid it
+	}
+	return v
+}

@@ -1,0 +1,209 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := NewStream(42)
+	b := NewStream(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("streams with same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := NewStream(1)
+	b := NewStream(2)
+	same := true
+	for i := 0; i < 10; i++ {
+		if a.Float64() != b.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("streams with different seeds produced identical output")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := NewStream(7)
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(-3, 5)
+		if v < -3 || v >= 5 {
+			t.Fatalf("Uniform(-3,5) = %v out of range", v)
+		}
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	s := NewStream(11)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := s.Gaussian(2, 3)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-2) > 0.05 {
+		t.Errorf("Gaussian mean = %v, want ~2", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-3) > 0.05 {
+		t.Errorf("Gaussian stddev = %v, want ~3", math.Sqrt(variance))
+	}
+}
+
+func TestLogNormalDBMoments(t *testing.T) {
+	s := NewStream(13)
+	const n = 100000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := s.LogNormalDB(10)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	std := math.Sqrt(sumsq/n - mean*mean)
+	if math.Abs(mean) > 0.15 {
+		t.Errorf("shadowing mean = %v, want ~0", mean)
+	}
+	if math.Abs(std-10) > 0.15 {
+		t.Errorf("shadowing stddev = %v, want ~10", std)
+	}
+}
+
+func TestRayleighMean(t *testing.T) {
+	s := NewStream(17)
+	const n = 100000
+	sigma := 2.0
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Rayleigh(sigma)
+	}
+	mean := sum / n
+	want := sigma * math.Sqrt(math.Pi/2)
+	if math.Abs(mean-want) > 0.03*want {
+		t.Errorf("Rayleigh mean = %v, want ~%v", mean, want)
+	}
+}
+
+func TestRayleighPowerDBUnitMean(t *testing.T) {
+	s := NewStream(19)
+	const n = 200000
+	var sumLinear float64
+	for i := 0; i < n; i++ {
+		sumLinear += math.Pow(10, s.RayleighPowerDB()/10)
+	}
+	mean := sumLinear / n
+	if math.Abs(mean-1) > 0.02 {
+		t.Errorf("Rayleigh linear power mean = %v, want ~1", mean)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := NewStream(23)
+	const n = 100000
+	rate := 0.5
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Exp(rate)
+	}
+	mean := sum / n
+	if math.Abs(mean-2) > 0.05 {
+		t.Errorf("Exp(0.5) mean = %v, want ~2", mean)
+	}
+}
+
+func TestStreamsNamedDeterminism(t *testing.T) {
+	f1 := NewStreams(99)
+	f2 := NewStreams(99)
+	// Request in different orders; same name must give same sequence.
+	a := f1.Get("channel")
+	_ = f1.Get("mobility")
+	_ = f2.Get("mobility")
+	b := f2.Get("channel")
+	for i := 0; i < 50; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("named streams are order-dependent")
+		}
+	}
+}
+
+func TestStreamsGetReturnsSameInstance(t *testing.T) {
+	f := NewStreams(1)
+	if f.Get("x") != f.Get("x") {
+		t.Error("Get should return the same stream instance for a name")
+	}
+}
+
+func TestStreamsIndependentNames(t *testing.T) {
+	f := NewStreams(5)
+	a := f.Get("a")
+	b := f.Get("b")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("streams 'a' and 'b' agree on %d/100 draws; should be independent", same)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	f := NewStreams(77)
+	r1 := f.Fork("rep-1").Get("channel")
+	r2 := f.Fork("rep-2").Get("channel")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if r1.Float64() == r2.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("forked streams agree on %d/100 draws", same)
+	}
+}
+
+func TestForkDeterminism(t *testing.T) {
+	a := NewStreams(7).Fork("rep-3").Get("x")
+	b := NewStreams(7).Fork("rep-3").Get("x")
+	for i := 0; i < 20; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("fork is not deterministic")
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := NewStream(3)
+	p := s.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSeedAccessor(t *testing.T) {
+	if NewStreams(123).Seed() != 123 {
+		t.Error("Seed() should return root seed")
+	}
+}
+
+func TestDeriveSeedNonZero(t *testing.T) {
+	// Regression guard: derived seeds must never be zero.
+	for i := int64(0); i < 1000; i++ {
+		if deriveSeed(i, "name") == 0 {
+			t.Fatalf("deriveSeed(%d) == 0", i)
+		}
+	}
+}
