@@ -2,9 +2,17 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench sweep examples fuzz clean
+.PHONY: all build test vet race race-core ci bench bench-slot sweep examples fuzz clean
 
 all: build vet test
+
+# Mirror of .github/workflows/ci.yml: build, vet, tests, then the race
+# detector over the concurrent packages (sweep pool, parallel optimizer,
+# sharded slot engine).
+ci: build vet test race-core
+
+race-core:
+	$(GO) test -race ./internal/core/... ./internal/firefly/... ./internal/experiments/...
 
 build:
 	$(GO) build ./...
@@ -20,6 +28,11 @@ race:
 
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# Sequential vs. sharded slot engine on the core hot path (see
+# EXPERIMENTS.md "Slot engine throughput").
+bench-slot:
+	$(GO) test -bench BenchmarkStepSlot -benchmem ./internal/core/
 
 # Regenerate every table and figure of the paper's evaluation.
 sweep:

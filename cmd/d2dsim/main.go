@@ -29,18 +29,19 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "fig3", "experiment: table1, fig2, fig3, fig4, ops, ablation-shadowing, ablation-topology, ablation-drift, ablation-preambles, ablation-search, single")
-		sizesStr = flag.String("sizes", "50,100,200,400,600,800,1000", "comma-separated device counts for sweeps")
-		seeds    = flag.Int("seeds", 5, "repetitions per sweep point")
-		baseSeed = flag.Int64("seed", 1, "base seed")
-		n        = flag.Int("n", 50, "device count for single-size experiments")
-		proto    = flag.String("proto", "ST", "protocol for -exp single: FST or ST")
-		maxSlots = flag.Int64("maxslots", 0, "override the per-run slot cap (0 = default)")
-		workers  = flag.Int("workers", 0, "sweep worker pool size (0 = NumCPU)")
-		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
-		plot     = flag.Bool("plot", false, "also draw fig3/fig4 as a terminal line chart")
-		cfgPath  = flag.String("config", "", "run -exp single from a JSON manifest (overrides -n/-seed)")
-		savePath = flag.String("saveconfig", "", "write the default manifest for -n/-seed to this path and exit")
+		exp         = flag.String("exp", "fig3", "experiment: table1, fig2, fig3, fig4, ops, ablation-shadowing, ablation-topology, ablation-drift, ablation-preambles, ablation-search, single")
+		sizesStr    = flag.String("sizes", "50,100,200,400,600,800,1000", "comma-separated device counts for sweeps")
+		seeds       = flag.Int("seeds", 5, "repetitions per sweep point")
+		baseSeed    = flag.Int64("seed", 1, "base seed")
+		n           = flag.Int("n", 50, "device count for single-size experiments")
+		proto       = flag.String("proto", "ST", "protocol for -exp single: FST or ST")
+		maxSlots    = flag.Int64("maxslots", 0, "override the per-run slot cap (0 = default)")
+		workers     = flag.Int("workers", 0, "sweep worker pool size (0 = NumCPU)")
+		slotWorkers = flag.Int("slotworkers", 0, "per-run slot engine workers (0/1 = sequential, <0 = NumCPU); results are identical for every value")
+		csv         = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		plot        = flag.Bool("plot", false, "also draw fig3/fig4 as a terminal line chart")
+		cfgPath     = flag.String("config", "", "run -exp single from a JSON manifest (overrides -n/-seed)")
+		savePath    = flag.String("saveconfig", "", "write the default manifest for -n/-seed to this path and exit")
 	)
 	flag.Parse()
 
@@ -53,21 +54,23 @@ func main() {
 		return
 	}
 	if *cfgPath != "" {
-		if err := runFromManifest(*cfgPath, *proto); err != nil {
+		if err := runFromManifest(*cfgPath, *proto, *slotWorkers); err != nil {
 			fmt.Fprintln(os.Stderr, "d2dsim:", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	if err := run(*exp, *sizesStr, *seeds, *baseSeed, *n, *proto, *maxSlots, *workers, *csv, *plot); err != nil {
+	if err := run(*exp, *sizesStr, *seeds, *baseSeed, *n, *proto, *maxSlots, *workers, *slotWorkers, *csv, *plot); err != nil {
 		fmt.Fprintln(os.Stderr, "d2dsim:", err)
 		os.Exit(1)
 	}
 }
 
 // runFromManifest executes one protocol run pinned by a JSON manifest.
-func runFromManifest(path, proto string) error {
+// Workers is a throughput knob, not a model parameter, so it is not part of
+// the manifest; the flag applies on top and cannot change the result.
+func runFromManifest(path, proto string, slotWorkers int) error {
 	m, err := manifest.Load(path)
 	if err != nil {
 		return err
@@ -76,6 +79,7 @@ func runFromManifest(path, proto string) error {
 	if err != nil {
 		return err
 	}
+	cfg.Workers = slotWorkers
 	env, err := core.NewEnv(cfg)
 	if err != nil {
 		return err
@@ -103,7 +107,7 @@ func protocolByName(name string) (core.Protocol, error) {
 	}
 }
 
-func run(exp, sizesStr string, seeds int, baseSeed int64, n int, proto string, maxSlots int64, workers int, csv, plot bool) error {
+func run(exp, sizesStr string, seeds int, baseSeed int64, n int, proto string, maxSlots int64, workers, slotWorkers int, csv, plot bool) error {
 	emit := func(t *metrics.Table) error {
 		if csv {
 			return t.RenderCSV(os.Stdout)
@@ -118,6 +122,7 @@ func run(exp, sizesStr string, seeds int, baseSeed int64, n int, proto string, m
 		return experiments.RunSweep(experiments.Options{
 			Sizes: sizes, Seeds: seeds, BaseSeed: baseSeed,
 			MaxSlots: units.Slot(maxSlots), Workers: workers,
+			SlotWorkers: slotWorkers,
 		})
 	}
 
@@ -283,6 +288,7 @@ func run(exp, sizesStr string, seeds int, baseSeed int64, n int, proto string, m
 		return emit(t)
 	case "single":
 		cfg := core.PaperConfig(n, baseSeed)
+		cfg.Workers = slotWorkers
 		if maxSlots > 0 {
 			cfg.MaxSlots = units.Slot(maxSlots)
 		}

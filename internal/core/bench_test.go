@@ -1,0 +1,43 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// BenchmarkStepSlot measures one slot of the hot loop — oscillator advance,
+// transport resolution, pulse delivery — on the sequential engine and the
+// sharded engine. Mesh coupling keeps every decoded pulse on the PRC path,
+// the worst case for the delivery phase. Reproduce with `make bench-slot`;
+// EXPERIMENTS.md records reference numbers.
+func BenchmarkStepSlot(b *testing.B) {
+	for _, n := range []int{200, 1000, 5000} {
+		for _, mode := range []struct {
+			name    string
+			workers int
+		}{
+			{"seq", 1},
+			{"par4", 4},
+			{"parNumCPU", -1},
+		} {
+			b.Run(fmt.Sprintf("%s/n=%d", mode.name, n), func(b *testing.B) {
+				cfg := PaperConfig(n, 7)
+				cfg.Workers = mode.workers
+				env, err := NewEnv(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng := newEngine(env)
+				defer eng.close()
+				couples := func(sender, receiver int) bool { return true }
+				var ops uint64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng.stepSlot(units.Slot(i+1), couples, 1, &ops)
+				}
+			})
+		}
+	}
+}

@@ -49,9 +49,11 @@ func (Centralized) Run(env *Env) Result {
 	// (no coupling — timing will come from the BS).
 	couples := func(sender, receiver int) bool { return false }
 	discoverySlots := units.Slot(cfg.DiscoveryPeriods * cfg.PeriodSlots)
+	slotEng := newEngine(env)
+	defer slotEng.close()
 	var slot units.Slot
 	for slot = 1; slot <= discoverySlots && slot <= cfg.MaxSlots; slot++ {
-		stepSlot(env, slot, couples, 1, &res.Ops)
+		slotEng.stepSlot(slot, couples, 1, &res.Ops)
 	}
 
 	// Phase 2: report collection over slotted random access, simulated on
@@ -160,7 +162,7 @@ func (Centralized) Run(env *Env) Result {
 	for round := 0; round < need && slot <= cfg.MaxSlots; round++ {
 		for s := 0; s < cfg.PeriodSlots; s++ {
 			slot++
-			fired := stepSlot(env, slot, couples, 1, &res.Ops)
+			fired := slotEng.stepSlot(slot, couples, 1, &res.Ops)
 			if len(fired) == cfg.N {
 				if round == need-1 {
 					res.Converged = true

@@ -2,6 +2,8 @@ package core
 
 import (
 	"testing"
+
+	"repro/internal/units"
 )
 
 // Churn tests: synchrony must survive devices powering off after the
@@ -92,5 +94,130 @@ func TestNoChurnByDefault(t *testing.T) {
 	ST{}.Run(env)
 	if env.AliveCount() != 10 {
 		t.Error("default run should not kill devices")
+	}
+}
+
+// Engine invariants under churn: the properties below must hold for every
+// slot of a run in which devices toggle on and off arbitrarily between
+// slots, on both the sequential and the sharded engine.
+//
+//   - the refractory window bounds every device to at most one fire per
+//     slot (which is also what terminates the absorption cascade);
+//   - powered-off devices never observe a PS (their discovery tables are
+//     frozen while they are down) and never fire;
+//   - the cascade terminates with at most one fire per alive device.
+
+// observationCount fingerprints how much device i has ever observed.
+func observationCount(env *Env, i int) int {
+	total := 0
+	for _, stat := range env.Devices[i].DiscoveredPeers {
+		total += stat.Count
+	}
+	return total
+}
+
+func churnInvariantRun(t *testing.T, workers int) {
+	t.Helper()
+	const n = 60
+	cfg := PaperConfig(n, 21)
+	cfg.MaxSlots = 60000
+	cfg.Workers = workers
+	env := mustEnv(t, cfg)
+	eng := newEngine(env)
+	defer eng.close()
+
+	// Mesh coupling maximizes cascade pressure: every decoded pulse may
+	// trigger an absorption fire.
+	couples := func(sender, receiver int) bool { return true }
+
+	var ops uint64
+	seen := make(map[int]bool, n)
+	deadObs := make([]int, n)
+	for slot := units.Slot(1); slot <= 1200; slot++ {
+		// Toggle a rotating block of devices every 40 slots: block k
+		// powers off for one toggle period, then back on.
+		if slot%40 == 0 {
+			block := (int(slot) / 40) % (n / 10)
+			for i := 0; i < n; i++ {
+				env.Alive[i] = true
+			}
+			for i := block * 10; i < (block+1)*10; i++ {
+				env.Alive[i] = false
+				deadObs[i] = observationCount(env, i)
+			}
+		}
+
+		fired := eng.stepSlot(slot, couples, 1, &ops)
+
+		// Cascade terminated with at most one fire per alive device.
+		if len(fired) > env.AliveCount() {
+			t.Fatalf("slot %d: %d fires exceed %d alive devices", slot, len(fired), env.AliveCount())
+		}
+		for k := range seen {
+			delete(seen, k)
+		}
+		for _, f := range fired {
+			if seen[f] {
+				t.Fatalf("slot %d: device %d fired twice in one slot (refractory violated)", slot, f)
+			}
+			seen[f] = true
+			if !env.Alive[f] {
+				t.Fatalf("slot %d: powered-off device %d fired", slot, f)
+			}
+		}
+		// Powered-off devices observed nothing this slot.
+		for i := 0; i < n; i++ {
+			if env.Alive[i] {
+				continue
+			}
+			if got := observationCount(env, i); got != deadObs[i] {
+				t.Fatalf("slot %d: powered-off device %d observed %d PSs while down",
+					slot, i, got-deadObs[i])
+			}
+		}
+	}
+	if ops == 0 {
+		t.Fatal("run delivered no pulses; the invariants were never exercised")
+	}
+}
+
+func TestEngineInvariantsUnderChurnSequential(t *testing.T) { churnInvariantRun(t, 1) }
+
+func TestEngineInvariantsUnderChurnParallel(t *testing.T) { churnInvariantRun(t, 4) }
+
+// Churn must not break worker-count invariance either: the same toggling
+// schedule on 1 and 4 workers yields identical trajectories.
+func TestChurnRunsAreWorkerCountInvariant(t *testing.T) {
+	run := func(workers int) (uint64, []int) {
+		cfg := PaperConfig(40, 22)
+		cfg.MaxSlots = 60000
+		cfg.Workers = workers
+		env := mustEnv(t, cfg)
+		eng := newEngine(env)
+		defer eng.close()
+		couples := func(sender, receiver int) bool { return true }
+		var ops uint64
+		var allFired []int
+		for slot := units.Slot(1); slot <= 800; slot++ {
+			if slot%30 == 0 {
+				victim := (int(slot) / 30) % 40
+				env.Alive[victim] = !env.Alive[victim]
+			}
+			allFired = append(allFired, eng.stepSlot(slot, couples, 1, &ops)...)
+		}
+		return ops, allFired
+	}
+	seqOps, seqFired := run(1)
+	parOps, parFired := run(4)
+	if seqOps != parOps {
+		t.Errorf("ops diverge under churn: seq %d vs par %d", seqOps, parOps)
+	}
+	if len(seqFired) != len(parFired) {
+		t.Fatalf("fired counts diverge under churn: seq %d vs par %d", len(seqFired), len(parFired))
+	}
+	for i := range seqFired {
+		if seqFired[i] != parFired[i] {
+			t.Fatalf("fired sequence diverges at %d: seq %d vs par %d", i, seqFired[i], parFired[i])
+		}
 	}
 }

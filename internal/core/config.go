@@ -98,6 +98,17 @@ type Config struct {
 	// Converged=false.
 	MaxSlots units.Slot
 
+	// Workers sets the slot engine's intra-slot parallelism: the
+	// oscillator-advance, channel-evaluation and pulse-delivery phases of
+	// each slot fan device ranges out over this many workers. 0 or 1 runs
+	// the sequential engine; negative uses one worker per CPU. Results
+	// are bit-identical for every value — parallelism is a throughput
+	// knob, not a model parameter, which is why manifests do not carry
+	// it. Slot-level workers compose with the run-level sweep pool of
+	// internal/experiments (slot-level pays off for few large runs,
+	// run-level for many small ones).
+	Workers int
+
 	// DiscoveryPeriods is how many initial periods ST spends purely on
 	// RSSI neighbour discovery before the first merge phase.
 	DiscoveryPeriods int

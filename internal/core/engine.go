@@ -1,0 +1,274 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/device"
+	"repro/internal/rach"
+	"repro/internal/units"
+)
+
+// The sharded slot engine parallelizes stepSlot across a persistent worker
+// pool while staying bit-identical to the sequential loop for any worker
+// count — the deterministic-parallelism recipe internal/firefly proves for
+// the optimizer (frozen snapshot + per-entity streams, after Husselmann &
+// Hawick's GPU formulation), lifted into the core simulator. Each slot runs
+// as three phases separated by barriers:
+//
+//	A. advance   — every alive oscillator ramps one slot. RNG-free and
+//	               per-device, so device ranges shard freely; per-shard
+//	               fired lists concatenate in shard order, which equals
+//	               device-index order.
+//	B. transport — one BroadcastPlan per cascade wave. Planning (Tx
+//	               accounting, shared-stream preamble draws) and resolution
+//	               (collision arbitration, Rx accounting) stay sequential;
+//	               the per-sender channel evaluation between them shards
+//	               over senders, each drawing from its own stream.
+//	C. delivery  — decoded PSs apply to receivers. The delivery list is
+//	               receiver-contiguous (Resolve sorts by receiver), so
+//	               sharding over receiver runs gives every receiver's
+//	               state to exactly one worker, in delivery order;
+//	               per-shard op counts and pulse-triggered fires merge at
+//	               the barrier in shard order = delivery order.
+//
+// Every merge is ordered by device/delivery index and every random draw
+// comes from a stream owned by one shard (or a shared stream consumed only
+// in the sequential steps), so no result depends on worker scheduling.
+
+// task is one contiguous shard of work dispatched to the pool.
+type task struct {
+	fn     func(worker, lo, hi int)
+	worker int
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+// workerPool is a persistent pool of goroutines executing range shards.
+// Keeping the goroutines alive across slots avoids per-slot spawn cost on
+// the hot path; close releases them.
+type workerPool struct {
+	workers int
+	tasks   chan task
+}
+
+func newWorkerPool(workers int) *workerPool {
+	p := &workerPool{workers: workers, tasks: make(chan task)}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for t := range p.tasks {
+				t.fn(t.worker, t.lo, t.hi)
+				t.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// run splits [0, n) into one contiguous shard per worker (shard w covers
+// [w*chunk, (w+1)*chunk)) and blocks until every shard completes — the
+// phase barrier. Shard index = worker index, so per-worker accumulators
+// concatenated in worker order preserve item order.
+func (p *workerPool) run(n int, fn func(worker, lo, hi int)) {
+	var wg sync.WaitGroup
+	chunk := (n + p.workers - 1) / p.workers
+	for w := 0; w < p.workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		p.tasks <- task{fn: fn, worker: w, lo: lo, hi: hi, wg: &wg}
+	}
+	wg.Wait()
+}
+
+func (p *workerPool) close() { close(p.tasks) }
+
+// engine drives stepSlot for one protocol run, sequentially or sharded
+// over a worker pool per Config.Workers. Protocols build one engine per
+// run and must close it to release the pool goroutines.
+type engine struct {
+	env  *Env
+	pool *workerPool
+
+	// Per-worker accumulators, merged in worker order at phase barriers.
+	fired   [][]int  // phase A: devices fired, per shard
+	scratch [][]int  // phase B: per-worker grid candidate buffers
+	next    [][]int  // phase C: pulse-triggered fires, per shard
+	ops     []uint64 // phase C: delivered-pulse counts, per shard
+	runs    [][2]int // phase C: receiver-contiguous delivery runs
+}
+
+// engineWorkers resolves the Workers knob: <0 means one per CPU, 0/1 means
+// sequential, and the count never exceeds the device count.
+func engineWorkers(cfg Config) int {
+	w := cfg.Workers
+	if w < 0 {
+		w = runtime.NumCPU()
+	}
+	if w > cfg.N {
+		w = cfg.N
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// newEngine builds the slot engine for env. A pool is only spun up when the
+// configuration asks for more than one worker and the transport's channel
+// draws are order-independent (per-sender streams or a stateless link
+// sampler); otherwise the engine runs the sequential loop.
+func newEngine(env *Env) *engine {
+	e := &engine{env: env}
+	w := engineWorkers(env.Cfg)
+	if w > 1 && env.Transport.SenderStreams == nil && env.Transport.LinkSampler == nil {
+		w = 1 // shared-stream draws are order-dependent: sequential only
+	}
+	if w > 1 {
+		e.pool = newWorkerPool(w)
+		e.fired = make([][]int, w)
+		e.scratch = make([][]int, w)
+		e.next = make([][]int, w)
+		e.ops = make([]uint64, w)
+	}
+	return e
+}
+
+// close releases the pool goroutines (no-op for a sequential engine).
+func (e *engine) close() {
+	if e.pool != nil {
+		e.pool.close()
+	}
+}
+
+// stepSlot advances the whole network one slot, dispatching to the
+// sequential loop or the sharded phases. Both produce identical results;
+// the differential tests in parallel_test.go pin that.
+func (e *engine) stepSlot(slot units.Slot, couples couplingRule, opsPerPulse uint64, ops *uint64) []int {
+	if e.pool == nil {
+		return stepSlot(e.env, slot, couples, opsPerPulse, ops)
+	}
+	return e.stepParallel(slot, couples, opsPerPulse, ops)
+}
+
+func (e *engine) stepParallel(slot units.Slot, couples couplingRule, opsPerPulse uint64, ops *uint64) []int {
+	env := e.env
+
+	// Phase A: oscillator advance, sharded over device ranges.
+	for w := range e.fired {
+		e.fired[w] = e.fired[w][:0]
+	}
+	e.pool.run(len(env.Devices), func(w, lo, hi int) {
+		f := e.fired[w]
+		for i := lo; i < hi; i++ {
+			if !env.Alive[i] {
+				continue
+			}
+			if env.Devices[i].Osc.Advance(int64(slot)) {
+				f = append(f, i)
+			}
+		}
+		e.fired[w] = f
+	})
+	var fired []int
+	for _, f := range e.fired {
+		fired = append(fired, f...)
+	}
+
+	service := func(sender int) int { return int(env.Devices[sender].Service) }
+	wave := fired
+	for len(wave) > 0 {
+		// Phase B: plan sequentially, evaluate senders in parallel
+		// (each sender's draws come from its own stream), resolve
+		// sequentially.
+		plan := env.Transport.PlanBroadcastAll(wave, rach.RACH1, rach.KindPulse, service, slot)
+		e.pool.run(len(wave), func(w, lo, hi int) {
+			sc := e.scratch[w]
+			for k := lo; k < hi; k++ {
+				sc = plan.EvalSender(k, sc)
+			}
+			e.scratch[w] = sc
+		})
+		dels := plan.Resolve()
+
+		// Phase C: apply deliveries, sharded over receiver runs so each
+		// receiver's state belongs to exactly one worker and is updated
+		// in delivery order. When the list is not receiver-contiguous
+		// (collision model disabled with several senders) fall back to
+		// the sequential application.
+		var next []int
+		if !plan.ReceiverContiguous() {
+			for _, del := range dels {
+				if !env.Alive[del.To] {
+					continue
+				}
+				recv := env.Devices[del.To]
+				recv.ObservePS(del.Msg.From, del.Msg.RSSI, device.Service(del.Msg.Service))
+				*ops += opsPerPulse
+				if !couples(del.Msg.From, del.To) {
+					continue
+				}
+				if recv.Osc.OnPulse(int64(slot)) {
+					next = append(next, del.To)
+				}
+			}
+		} else {
+			e.runs = e.runs[:0]
+			for i := 0; i < len(dels); {
+				j := i + 1
+				for j < len(dels) && dels[j].To == dels[i].To {
+					j++
+				}
+				e.runs = append(e.runs, [2]int{i, j})
+				i = j
+			}
+			for w := range e.next {
+				e.next[w] = e.next[w][:0]
+				e.ops[w] = 0
+			}
+			e.pool.run(len(e.runs), func(w, lo, hi int) {
+				nx := e.next[w]
+				var delivered uint64
+				for r := lo; r < hi; r++ {
+					for di := e.runs[r][0]; di < e.runs[r][1]; di++ {
+						del := dels[di]
+						if !env.Alive[del.To] {
+							continue // powered-off receivers hear nothing
+						}
+						recv := env.Devices[del.To]
+						recv.ObservePS(del.Msg.From, del.Msg.RSSI, device.Service(del.Msg.Service))
+						delivered++
+						if !couples(del.Msg.From, del.To) {
+							continue
+						}
+						if recv.Osc.OnPulse(int64(slot)) {
+							nx = append(nx, del.To)
+						}
+					}
+				}
+				e.next[w] = nx
+				e.ops[w] = delivered
+			})
+			for w := range e.next {
+				next = append(next, e.next[w]...)
+				*ops += e.ops[w] * opsPerPulse
+			}
+		}
+		fired = append(fired, next...)
+		wave = next
+	}
+	if env.Cfg.FireTrace != nil {
+		for _, f := range fired {
+			env.Cfg.FireTrace(slot, f)
+		}
+	}
+	if env.Cfg.ProgressTrace != nil && env.Cfg.ProgressEvery > 0 && slot%env.Cfg.ProgressEvery == 0 {
+		env.Cfg.ProgressTrace(slot)
+	}
+	return fired
+}

@@ -75,6 +75,16 @@ func newEnv(cfg Config, positions []geo.Point) (*Env, error) {
 	// reachable without probing the whole plane.
 	tr := rach.NewTransport(ch, positions, cfg.TxPower, cfg.Threshold, 2*cfg.ShadowSigmaDB)
 	tr.CaptureMarginDB = cfg.CaptureMarginDB
+	// Per-sender pulse streams: device i's broadcast channel draws come
+	// from its own "pulse-i" stream, so evaluating distinct senders is
+	// order-independent — the property the parallel slot engine needs for
+	// worker-count-invariant results. (The correlated-channel LinkSampler
+	// below takes precedence; it is stateless per draw and equally safe.)
+	pulse := make([]*xrand.Stream, cfg.N)
+	for i := range pulse {
+		pulse[i] = streams.Get(fmt.Sprintf("pulse-%d", i))
+	}
+	tr.SenderStreams = pulse
 	if cfg.Preambles > 1 {
 		tr.Preambles = cfg.Preambles
 		tr.PreambleSrc = streams.Get("preambles")

@@ -57,8 +57,10 @@ func (FST) Run(env *Env) Result {
 	nextRound := discoverySlots
 	churned := false
 
+	eng := newEngine(env)
+	defer eng.close()
 	for slot := units.Slot(1); slot <= cfg.MaxSlots; slot++ {
-		fired := stepSlot(env, slot, couples, opsPerPulse, &res.Ops)
+		fired := eng.stepSlot(slot, couples, opsPerPulse, &res.Ops)
 
 		// One join attempt per RACH opportunity.
 		if slot >= nextRound && joined < cfg.N {

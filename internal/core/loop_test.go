@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/geo"
+)
+
+// log2ceil is the ST per-pulse ranking cost; the ops accounting of whole
+// runs rides on its boundary behaviour, so pin the edges explicitly:
+// minimum 1, exact at powers of two, and the step up at 2^k + 1.
+func TestLog2CeilBoundaries(t *testing.T) {
+	cases := []struct {
+		n    int
+		want uint64
+	}{
+		{1, 1}, // minimum: a lone device still pays one comparison
+		{2, 1},
+		{3, 2},
+		{4, 2},
+		{5, 3},
+		{8, 3},
+		{9, 4},
+		{16, 4},
+		{17, 5},
+		{1024, 10},
+		{1025, 11},
+	}
+	for _, c := range cases {
+		if got := log2ceil(c.n); got != c.want {
+			t.Errorf("log2ceil(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestCountDiscoveredLinks(t *testing.T) {
+	cfg := PaperConfig(4, 1)
+	positions := []geo.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 0, Y: 10}, {X: 10, Y: 10}}
+	env, err := NewEnvAt(cfg, positions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countDiscoveredLinks(env); got != 0 {
+		t.Fatalf("fresh env has %d links, want 0", got)
+	}
+	// Links are directed neighbour-table entries: observing the same peer
+	// twice is still one entry; A→B and B→A are two.
+	env.Devices[0].ObservePS(1, -60, device.Service(0))
+	env.Devices[0].ObservePS(1, -61, device.Service(0))
+	if got := countDiscoveredLinks(env); got != 1 {
+		t.Errorf("after repeated observation: %d links, want 1", got)
+	}
+	env.Devices[1].ObservePS(0, -60, device.Service(0))
+	env.Devices[2].ObservePS(3, -70, device.Service(1))
+	if got := countDiscoveredLinks(env); got != 3 {
+		t.Errorf("after three directed observations: %d links, want 3", got)
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// Differential pin for the sharded slot engine: for every tested worker
+// count the parallel engine must produce results byte-identical to the
+// sequential engine — same fired sequence, same discovery tables, same
+// counters, same ops. Sizes are capped by MaxSlots so the large cases stay
+// affordable; bit-identity does not need convergence, only identical
+// trajectories.
+
+// fireEvent is one FireTrace callback, in callback order.
+type fireEvent struct {
+	slot units.Slot
+	dev  int
+}
+
+// runFingerprint collects everything the differential test compares.
+type runFingerprint struct {
+	res   Result
+	fires []fireEvent
+}
+
+func fingerprint(t *testing.T, proto Protocol, n int, seed int64, maxSlots units.Slot, workers int) runFingerprint {
+	t.Helper()
+	cfg := PaperConfig(n, seed)
+	cfg.MaxSlots = maxSlots
+	cfg.Workers = workers
+	var fires []fireEvent
+	cfg.FireTrace = func(slot units.Slot, dev int) {
+		fires = append(fires, fireEvent{slot: slot, dev: dev})
+	}
+	env := mustEnv(t, cfg)
+	res := proto.Run(env)
+	// Strip the non-comparable pieces that don't add signal beyond the
+	// scalars: TreeEdges/TreePhases are pinned via weight and count.
+	fp := runFingerprint{res: res, fires: fires}
+	return fp
+}
+
+func compareFingerprints(t *testing.T, label string, want, got runFingerprint) {
+	t.Helper()
+	w, g := want.res, got.res
+	if w.Converged != g.Converged || w.ConvergenceSlots != g.ConvergenceSlots {
+		t.Errorf("%s: convergence differs: seq (%v, %d) vs par (%v, %d)",
+			label, w.Converged, w.ConvergenceSlots, g.Converged, g.ConvergenceSlots)
+	}
+	if w.Counters != g.Counters {
+		t.Errorf("%s: counters differ:\nseq %+v\npar %+v", label, w.Counters, g.Counters)
+	}
+	if w.Ops != g.Ops {
+		t.Errorf("%s: ops differ: seq %d vs par %d", label, w.Ops, g.Ops)
+	}
+	if w.DiscoveredLinks != g.DiscoveredLinks {
+		t.Errorf("%s: discovered links differ: seq %d vs par %d", label, w.DiscoveredLinks, g.DiscoveredLinks)
+	}
+	if w.ServiceDiscovery != g.ServiceDiscovery {
+		t.Errorf("%s: service discovery differs: seq %v vs par %v", label, w.ServiceDiscovery, g.ServiceDiscovery)
+	}
+	if w.TreeWeight != g.TreeWeight || len(w.TreeEdges) != len(g.TreeEdges) {
+		t.Errorf("%s: tree differs: seq (%d edges, %v) vs par (%d edges, %v)",
+			label, len(w.TreeEdges), w.TreeWeight, len(g.TreeEdges), g.TreeWeight)
+	}
+	if len(want.fires) != len(got.fires) {
+		t.Errorf("%s: fired sequence length differs: seq %d vs par %d",
+			label, len(want.fires), len(got.fires))
+		return
+	}
+	for i := range want.fires {
+		if want.fires[i] != got.fires[i] {
+			t.Errorf("%s: fired sequence diverges at event %d: seq %+v vs par %+v",
+				label, i, want.fires[i], got.fires[i])
+			return
+		}
+	}
+}
+
+func TestParallelEngineBitIdenticalToSequential(t *testing.T) {
+	cases := []struct {
+		n        int
+		maxSlots units.Slot
+	}{
+		// n=50 runs to convergence; the larger sizes are slot-capped so
+		// the table stays affordable (identity holds slot by slot, so a
+		// truncated trajectory pins it just as hard).
+		{n: 50, maxSlots: 2000},
+		{n: 200, maxSlots: 1000},
+		{n: 800, maxSlots: 400},
+	}
+	seeds := []int64{1, 2, 3}
+	protocols := []Protocol{FST{}, ST{}}
+	workerCounts := []int{2, 4, 8}
+
+	for _, c := range cases {
+		for _, seed := range seeds {
+			for _, proto := range protocols {
+				seq := fingerprint(t, proto, c.n, seed, c.maxSlots, 1)
+				if len(seq.fires) == 0 {
+					t.Fatalf("%s n=%d seed=%d: sequential run produced no fires", proto.Name(), c.n, seed)
+				}
+				for _, workers := range workerCounts {
+					par := fingerprint(t, proto, c.n, seed, c.maxSlots, workers)
+					label := fmtLabel(proto.Name(), c.n, seed, workers)
+					compareFingerprints(t, label, seq, par)
+				}
+			}
+		}
+	}
+}
+
+func fmtLabel(proto string, n int, seed int64, workers int) string {
+	return fmt.Sprintf("%s/n=%d/seed=%d/workers=%d", proto, n, seed, workers)
+}
+
+// The negative-margin transport (collision model disabled) produces a
+// sender-major delivery list that is not receiver-contiguous; the engine
+// must detect that and still match the sequential loop exactly.
+func TestParallelEngineBitIdenticalWithoutCaptureModel(t *testing.T) {
+	for _, workers := range []int{2, 8} {
+		cfg := PaperConfig(50, 11)
+		cfg.MaxSlots = 1500
+		cfg.CaptureMarginDB = -1
+		cfg.Workers = 1
+		env := mustEnv(t, cfg)
+		seq := ST{}.Run(env)
+
+		cfg.Workers = workers
+		envP := mustEnv(t, cfg)
+		par := ST{}.Run(envP)
+
+		if seq.ConvergenceSlots != par.ConvergenceSlots || seq.Counters != par.Counters || seq.Ops != par.Ops {
+			t.Errorf("workers=%d: no-capture run diverged: seq (%d, %+v, %d) vs par (%d, %+v, %d)",
+				workers, seq.ConvergenceSlots, seq.Counters, seq.Ops,
+				par.ConvergenceSlots, par.Counters, par.Ops)
+		}
+	}
+}
+
+// Negative workers resolve to NumCPU; the result must still match the
+// sequential engine bit for bit (it always does — the knob only changes
+// scheduling).
+func TestWorkersNumCPUMatchesSequential(t *testing.T) {
+	seq := fingerprint(t, ST{}, 50, 9, 2000, 1)
+	par := fingerprint(t, ST{}, 50, 9, 2000, -1)
+	compareFingerprints(t, "ST/workers=NumCPU", seq, par)
+}

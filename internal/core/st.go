@@ -56,14 +56,21 @@ func (ST) Run(env *Env) Result {
 	// by its single boundary neighbour, which matters under clock drift.
 	// Cross-fragment pulses never couple: each fragment keeps its own
 	// rhythm until H_Connect merges (and phase-adopts) it.
+	//
+	// The rule reads a fragment-id snapshot refreshed after every merge
+	// step rather than querying the tree's union-find directly: fragments
+	// only change between slots, and the immutable snapshot lets the slot
+	// engine's delivery workers evaluate the rule concurrently (the
+	// union-find compresses paths on lookup, so it is not a shared read).
+	var frag []int
 	couples := func(sender, receiver int) bool {
 		if cfg.MeshCoupling {
 			return true // ablation B: fragment gating removed
 		}
-		if tree == nil {
+		if frag == nil {
 			return false // pure discovery: no coupling yet
 		}
-		return tree.SameFragment(sender, receiver)
+		return frag[sender] == frag[receiver]
 	}
 
 	discoverySlots := units.Slot(cfg.DiscoveryPeriods * cfg.PeriodSlots)
@@ -71,8 +78,10 @@ func (ST) Run(env *Env) Result {
 	nextMerge := discoverySlots
 	churned := false
 
+	eng := newEngine(env)
+	defer eng.close()
 	for slot := units.Slot(1); slot <= cfg.MaxSlots; slot++ {
-		fired := stepSlot(env, slot, couples, opsPerPulse, &res.Ops)
+		fired := eng.stepSlot(slot, couples, opsPerPulse, &res.Ops)
 
 		// Merge phases run at period boundaries once discovery is done.
 		if slot >= nextMerge && (tree == nil || !tree.Done()) {
@@ -97,6 +106,7 @@ func (ST) Run(env *Env) Result {
 				})
 			}
 			tree.Step()
+			frag = tree.FragmentIDs(frag)
 			nextMerge = slot + mergeInterval
 			if tree.Done() && tree.Fragments() > 1 {
 				// The discovered graph is disconnected: network-wide

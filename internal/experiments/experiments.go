@@ -30,8 +30,14 @@ type Options struct {
 	BaseSeed int64
 	// MaxSlots overrides the per-run slot cap (0 keeps the default).
 	MaxSlots units.Slot
-	// Workers bounds the worker pool (0 = NumCPU).
+	// Workers bounds the run-level worker pool (0 = NumCPU).
 	Workers int
+	// SlotWorkers sets each run's intra-slot engine parallelism
+	// (core.Config.Workers): 0 or 1 sequential, >1 that many workers,
+	// <0 one per CPU. Slot-level and run-level parallelism compose —
+	// slot-level pays off for few large runs, run-level for many small
+	// ones. Results are bit-identical for every setting.
+	SlotWorkers int
 	// Configure, when non-nil, post-processes each run's Config (used by
 	// the ablations).
 	Configure func(*core.Config)
@@ -107,6 +113,7 @@ func RunSweep(opts Options) ([]Row, error) {
 			defer wg.Done()
 			for j := range jobCh {
 				cfg := core.PaperConfig(j.n, j.seed)
+				cfg.Workers = opts.SlotWorkers
 				if opts.MaxSlots > 0 {
 					cfg.MaxSlots = opts.MaxSlots
 				}

@@ -169,7 +169,21 @@ func (p *Protocol) Done() bool { return p.done }
 func (p *Protocol) Fragments() int { return p.uf.Count() }
 
 // SameFragment reports whether two nodes are currently in one fragment.
+// Not safe for concurrent use (the underlying union-find compresses paths
+// on lookup); concurrent readers should snapshot FragmentIDs instead.
 func (p *Protocol) SameFragment(u, v int) bool { return p.uf.Connected(u, v) }
+
+// FragmentIDs appends each node's current fragment representative to dst
+// (reusing its capacity) and returns it: nodes u and v are in one fragment
+// iff ids[u] == ids[v]. The snapshot is immutable, so it can be read
+// concurrently while the protocol is quiescent between Steps.
+func (p *Protocol) FragmentIDs(dst []int) []int {
+	dst = dst[:0]
+	for v := 0; v < p.n; v++ {
+		dst = append(dst, p.uf.Find(v))
+	}
+	return dst
+}
 
 // TreeNeighbors returns node u's current tree-edge neighbours. The returned
 // slice is owned by the protocol; do not mutate it.

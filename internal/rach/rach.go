@@ -187,6 +187,16 @@ type Transport struct {
 	NoiseFloor units.DBm
 	// RequiredSNRDB is the detection SINR requirement for SINRMode.
 	RequiredSNRDB float64
+	// SenderStreams, when non-nil, holds one random stream per device;
+	// broadcast channel draws for a transmission from device i come from
+	// SenderStreams[i] instead of the shared Channel streams. This makes
+	// the per-sender candidate evaluation of a BroadcastAll independent of
+	// global draw order, so distinct senders can be evaluated concurrently
+	// with bit-identical results (the same recipe internal/firefly uses
+	// for its parallel optimizer). A non-nil LinkSampler takes precedence.
+	// Unicast and the merge handshakes keep the shared streams: they run
+	// in the sequential protocol phase.
+	SenderStreams []*xrand.Stream
 
 	positions []geo.Point
 	grid      *geo.Grid
@@ -288,51 +298,154 @@ func (t *Transport) Unicast(from, to int, codec Codec, kind Kind, service int, s
 // With CaptureMarginDB < 0 the collision model is disabled and every
 // above-threshold arrival is delivered (the behaviour of repeated Broadcast
 // calls).
+//
+// BroadcastAll is the sequential composition of the three-step plan API:
+// PlanBroadcastAll, EvalSender for each sender in order, Resolve. Callers
+// that want to evaluate senders concurrently (the core slot engine) drive
+// the steps themselves.
 func (t *Transport) BroadcastAll(senders []int, codec Codec, kind Kind, service func(sender int) int, slot units.Slot) []Delivery {
-	if t.CaptureMarginDB < 0 || len(senders) == 1 {
+	p := t.PlanBroadcastAll(senders, codec, kind, service, slot)
+	for k := range senders {
+		t.scratch = p.EvalSender(k, t.scratch)
+	}
+	return p.Resolve()
+}
+
+// arrival is one candidate reception produced by EvalSender: the receiver
+// and the sampled received power.
+type arrival struct {
+	recv int
+	rssi units.DBm
+}
+
+// BroadcastPlan carries one same-slot broadcast wave through its three
+// steps: sequential planning (transmission accounting and preamble draws
+// from the shared stream), per-sender candidate evaluation (safe to run
+// concurrently across distinct senders when the transport's channel draws
+// are per-sender or stateless), and sequential resolution (collision
+// arbitration, reception accounting, delivery ordering). The sequential
+// composition of the steps is exactly BroadcastAll.
+type BroadcastPlan struct {
+	t        *Transport
+	senders  []int
+	codec    Codec
+	kind     Kind
+	service  func(sender int) int
+	slot     units.Slot
+	capture  bool  // capture/SINR grouping; false = plain threshold mode
+	preamble []int // per sender index, capture mode only
+	arrivals [][]arrival
+}
+
+// PlanBroadcastAll begins a broadcast wave: it charges one transmission per
+// sender and performs all draws that must come from shared streams (the
+// preamble assignment), leaving the per-sender channel evaluation to
+// EvalSender. The returned plan is valid until the next wave.
+func (t *Transport) PlanBroadcastAll(senders []int, codec Codec, kind Kind, service func(sender int) int, slot units.Slot) *BroadcastPlan {
+	p := &BroadcastPlan{
+		t: t, senders: senders, codec: codec, kind: kind,
+		service: service, slot: slot,
+		// CaptureMarginDB < 0 disables the collision model; a single
+		// sender cannot collide — both fall back to plain threshold
+		// delivery (the behaviour of repeated Broadcast calls).
+		capture:  !(t.CaptureMarginDB < 0 || len(senders) == 1),
+		arrivals: make([][]arrival, len(senders)),
+	}
+	t.counters.Tx[codec] += uint64(len(senders))
+	t.counters.TxBytes[codec] += uint64(len(senders)) * PayloadBytes(kind)
+	if p.capture {
+		// Preamble assignment: senders sharing a preamble contend;
+		// distinct preambles are orthogonal.
+		pool := t.Preambles
+		if pool < 2 || t.PreambleSrc == nil {
+			pool = 1
+		}
+		p.preamble = make([]int, len(senders))
+		if pool > 1 {
+			for k := range senders {
+				p.preamble[k] = t.PreambleSrc.Intn(pool)
+			}
+		}
+	}
+	return p
+}
+
+// EvalSender samples the channel from the k-th sender of the plan to every
+// candidate neighbour, recording the arrivals the resolution step will
+// arbitrate. scratch is the caller's candidate buffer (grown as needed and
+// returned); concurrent callers must pass distinct buffers. Distinct k may
+// be evaluated concurrently iff the transport's draws are per-sender
+// (SenderStreams) or stateless (LinkSampler); with the default shared
+// Channel streams the evaluation order is the draw order, so senders must
+// be evaluated sequentially in index order.
+func (p *BroadcastPlan) EvalSender(k int, scratch []int) []int {
+	t := p.t
+	s := p.senders[k]
+	src := t.positions[s]
+	scratch = t.grid.Neighbors(src, float64(t.reach), s, scratch[:0])
+	arr := p.arrivals[k][:0]
+	for _, j := range scratch {
+		d := units.Metre(src.Dist(t.positions[j]))
+		rx := t.sample(s, j, d, p.slot)
+		// The capture model drops sub-threshold arrivals outright; the
+		// SINR model keeps them — they still interfere.
+		if !(p.capture && t.SINRMode) && !rx.AtLeast(t.Threshold) {
+			continue
+		}
+		arr = append(arr, arrival{recv: j, rssi: rx})
+	}
+	p.arrivals[k] = arr
+	return scratch
+}
+
+// ReceiverContiguous reports whether Resolve's delivery list visits each
+// receiver in one contiguous run (true in capture/SINR mode, where
+// deliveries are sorted by receiver, and trivially for a single sender).
+// With the collision model disabled and several senders, a receiver can
+// appear once per sender, scattered through the sender-major list — callers
+// that fan deliveries out per receiver must fall back to sequential
+// processing in that case.
+func (p *BroadcastPlan) ReceiverContiguous() bool {
+	return p.capture || len(p.senders) <= 1
+}
+
+// Resolve arbitrates the evaluated arrivals into deliveries: in capture
+// mode it groups arrivals per (receiver, preamble) and applies the capture
+// or SINR rule; in plain mode every above-threshold arrival is delivered
+// sender-major. Decoded PSs are charged to the reception counters here.
+func (p *BroadcastPlan) Resolve() []Delivery {
+	t := p.t
+	if !p.capture {
 		var out []Delivery
-		for _, s := range senders {
-			out = append(out, t.Broadcast(s, codec, kind, service(s), slot)...)
+		for k, s := range p.senders {
+			for _, a := range p.arrivals[k] {
+				t.counters.Rx[p.codec]++
+				out = append(out, Delivery{
+					To: a.recv,
+					Msg: Message{
+						From: s, Codec: p.codec, Kind: p.kind,
+						Service: p.service(s), Slot: p.slot, RSSI: a.rssi,
+					},
+				})
+			}
 		}
 		return out
 	}
-	// Preamble assignment: senders sharing a preamble contend; distinct
-	// preambles are orthogonal.
-	preambleOf := make(map[int]int, len(senders))
-	pool := t.Preambles
-	if pool < 2 || t.PreambleSrc == nil {
-		pool = 1
-	}
-	for _, s := range senders {
-		if pool == 1 {
-			preambleOf[s] = 0
-		} else {
-			preambleOf[s] = t.PreambleSrc.Intn(pool)
-		}
-	}
-
-	type arrival struct {
+	type contender struct {
 		sender int
 		rssi   units.DBm
 	}
 	// Group arrivals per (receiver, preamble).
 	type slotKey struct{ recv, preamble int }
-	byGroup := make(map[slotKey][]arrival)
-	for _, s := range senders {
-		t.counters.Tx[codec]++
-		t.counters.TxBytes[codec] += PayloadBytes(kind)
-		src := t.positions[s]
-		t.scratch = t.grid.Neighbors(src, float64(t.reach), s, t.scratch[:0])
-		for _, j := range t.scratch {
-			d := units.Metre(src.Dist(t.positions[j]))
-			rx := t.sample(s, j, d, slot)
-			// The capture model drops sub-threshold arrivals outright;
-			// the SINR model keeps them — they still interfere.
-			if !t.SINRMode && !rx.AtLeast(t.Threshold) {
-				continue
-			}
-			k := slotKey{recv: j, preamble: preambleOf[s]}
-			byGroup[k] = append(byGroup[k], arrival{sender: s, rssi: rx})
+	byGroup := make(map[slotKey][]contender)
+	for k, s := range p.senders {
+		pre := 0
+		if p.preamble != nil {
+			pre = p.preamble[k]
+		}
+		for _, a := range p.arrivals[k] {
+			key := slotKey{recv: a.recv, preamble: pre}
+			byGroup[key] = append(byGroup[key], contender{sender: s, rssi: a.rssi})
 		}
 	}
 	keys := make([]slotKey, 0, len(byGroup))
@@ -372,23 +485,27 @@ func (t *Transport) BroadcastAll(senders []int, codec Codec, kind Kind, service 
 		} else if second >= 0 && float64(arr[best].rssi-arr[second].rssi) < t.CaptureMarginDB {
 			continue // collision: nothing decodable on this preamble
 		}
-		t.counters.Rx[codec]++
+		t.counters.Rx[p.codec]++
 		out = append(out, Delivery{
 			To: k.recv,
 			Msg: Message{
-				From: arr[best].sender, Codec: codec, Kind: kind,
-				Service: service(arr[best].sender), Slot: slot, RSSI: arr[best].rssi,
+				From: arr[best].sender, Codec: p.codec, Kind: p.kind,
+				Service: p.service(arr[best].sender), Slot: p.slot, RSSI: arr[best].rssi,
 			},
 		})
 	}
 	return out
 }
 
-// sample draws one link-addressed received-power observation, through the
-// LinkSampler when configured and the i.i.d. Channel otherwise.
+// sample draws one link-addressed received-power observation: through the
+// LinkSampler when configured, from the sender's own stream when
+// SenderStreams is set, and from the shared i.i.d. Channel otherwise.
 func (t *Transport) sample(from, to int, d units.Metre, slot units.Slot) units.DBm {
 	if t.LinkSampler != nil {
 		return t.LinkSampler(from, to, d, slot)
+	}
+	if t.SenderStreams != nil {
+		return t.Channel.SampleFrom(t.SenderStreams[from], t.TxPower, d)
 	}
 	return t.Channel.Sample(t.TxPower, d)
 }

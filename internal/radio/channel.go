@@ -96,6 +96,25 @@ func (c *Channel) Sample(txPower units.DBm, d units.Metre) units.DBm {
 	return p
 }
 
+// SampleFrom returns one received-power sample at distance d like Sample,
+// but draws the shadowing and fading terms from src instead of the
+// channel's own shared streams. Giving each transmitter its own stream
+// makes concurrent sampling deterministic: the draws a transmitter consumes
+// depend only on its own sample sequence, not on global call order.
+func (c *Channel) SampleFrom(src *xrand.Stream, txPower units.DBm, d units.Metre) units.DBm {
+	p := c.MeanReceivedPower(txPower, d)
+	if c.ShadowSigmaDB != 0 {
+		p = p.Add(units.DB(src.LogNormalDB(c.ShadowSigmaDB)))
+	}
+	switch c.Fading {
+	case FadingRayleigh:
+		p = p.Add(units.DB(src.RayleighPowerDB()))
+	case FadingRician:
+		p = p.Add(units.DB(ricianPowerDB(src, c.RicianKdB)))
+	}
+	return p
+}
+
 // ShadowingDB draws one shadowing value in dB (the random variable x of
 // eq. (9): zero-mean Gaussian with variance sigma^2).
 func (c *Channel) ShadowingDB() float64 {
