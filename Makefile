@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-core ci bench bench-slot sweep examples fuzz clean
+.PHONY: all build test vet race race-core ci bench bench-slot bench-link sweep examples fuzz clean
 
 all: build vet test
 
@@ -33,6 +33,13 @@ bench:
 # EXPERIMENTS.md "Slot engine throughput").
 bench-slot:
 	$(GO) test -bench BenchmarkStepSlot -benchmem ./internal/core/
+
+# Link-geometry cache hot path: slot engine + cached/direct broadcast,
+# persisted as BENCH_slot.json (ns/op, allocs/op) via cmd/benchjson.
+bench-link:
+	$(GO) test -run '^$$' -bench 'BenchmarkStepSlot|BenchmarkBroadcastCached|BenchmarkBroadcastDirect' -benchmem ./internal/core/ ./internal/rach/ \
+		| $(GO) run ./cmd/benchjson -o BENCH_slot.json
+	@cat BENCH_slot.json
 
 # Regenerate every table and figure of the paper's evaluation.
 sweep:

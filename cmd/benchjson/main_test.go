@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkBroadcastCached/n=1000-8   \t  50000\t 23456 ns/op\t 0 B/op\t 0 allocs/op")
+	if !ok {
+		t.Fatal("benchmark line not recognised")
+	}
+	if r.Name != "BenchmarkBroadcastCached/n=1000-8" || r.Iterations != 50000 ||
+		r.NsPerOp != 23456 || r.BytesPerOp != 0 || r.AllocsPerOp != 0 {
+		t.Fatalf("parsed %+v", r)
+	}
+
+	if _, ok := parseLine("ok  \trepro/internal/core\t12.3s"); ok {
+		t.Error("ok line parsed as benchmark")
+	}
+	if _, ok := parseLine("PASS"); ok {
+		t.Error("PASS parsed as benchmark")
+	}
+	if _, ok := parseLine("BenchmarkBroken notanumber 5 ns/op"); ok {
+		t.Error("malformed iteration count accepted")
+	}
+
+	// Without -benchmem there are no alloc columns.
+	r, ok = parseLine("BenchmarkStepSlot/seq/n=200-8 \t 9999 \t 100.5 ns/op")
+	if !ok || r.NsPerOp != 100.5 || r.AllocsPerOp != 0 {
+		t.Fatalf("parsed %+v ok=%v", r, ok)
+	}
+}

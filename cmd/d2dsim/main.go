@@ -11,12 +11,15 @@
 //	d2dsim -exp ablation-topology -n 50 -seeds 3
 //	d2dsim -exp ablation-search -sizes 32,128,512
 //	d2dsim -exp single -proto ST -n 200 -seed 7
+//	d2dsim -exp single -proto ST -n 1000 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -42,8 +45,38 @@ func main() {
 		plot        = flag.Bool("plot", false, "also draw fig3/fig4 as a terminal line chart")
 		cfgPath     = flag.String("config", "", "run -exp single from a JSON manifest (overrides -n/-seed)")
 		savePath    = flag.String("saveconfig", "", "write the default manifest for -n/-seed to this path and exit")
+		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile  = flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "d2dsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "d2dsim:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "d2dsim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "d2dsim:", err)
+			}
+		}()
+	}
 
 	if *savePath != "" {
 		if err := manifest.Default(*n, *baseSeed).Save(*savePath); err != nil {

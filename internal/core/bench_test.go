@@ -33,6 +33,7 @@ func BenchmarkStepSlot(b *testing.B) {
 				defer eng.close()
 				couples := func(sender, receiver int) bool { return true }
 				var ops uint64
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					eng.stepSlot(units.Slot(i+1), couples, 1, &ops)

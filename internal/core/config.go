@@ -152,6 +152,11 @@ type Config struct {
 	FailAt units.Slot
 	// FailSet lists the device ids that fail at FailAt.
 	FailSet []int
+
+	// directGeometry (tests only) disables the transport's link-geometry
+	// cache so the run exercises the direct per-call path — the reference
+	// side of the cached-vs-direct differential suite.
+	directGeometry bool
 }
 
 // PaperConfig returns the run configuration of Table I for n devices at the

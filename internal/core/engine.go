@@ -101,6 +101,13 @@ type engine struct {
 	next    [][]int  // phase C: pulse-triggered fires, per shard
 	ops     []uint64 // phase C: delivered-pulse counts, per shard
 	runs    [][2]int // phase C: receiver-contiguous delivery runs
+
+	// Slot-level reused buffers: the merged fired list handed back to the
+	// protocol loop (valid until the next stepSlot), and two ping-pong wave
+	// buffers — the cascade reads wave w-1 while filling wave w, so two
+	// buffers alternate without aliasing.
+	firedAll []int
+	waves    [2][]int
 }
 
 // engineWorkers resolves the Workers knob: <0 means one per CPU, 0/1 means
@@ -175,13 +182,14 @@ func (e *engine) stepParallel(slot units.Slot, couples couplingRule, opsPerPulse
 		}
 		e.fired[w] = f
 	})
-	var fired []int
+	fired := e.firedAll[:0]
 	for _, f := range e.fired {
 		fired = append(fired, f...)
 	}
 
 	service := func(sender int) int { return int(env.Devices[sender].Service) }
 	wave := fired
+	waveBuf := 0
 	for len(wave) > 0 {
 		// Phase B: plan sequentially, evaluate senders in parallel
 		// (each sender's draws come from its own stream), resolve
@@ -201,7 +209,9 @@ func (e *engine) stepParallel(slot units.Slot, couples couplingRule, opsPerPulse
 		// in delivery order. When the list is not receiver-contiguous
 		// (collision model disabled with several senders) fall back to
 		// the sequential application.
-		var next []int
+		buf := waveBuf
+		waveBuf ^= 1
+		next := e.waves[buf][:0]
 		if !plan.ReceiverContiguous() {
 			for _, del := range dels {
 				if !env.Alive[del.To] {
@@ -259,9 +269,11 @@ func (e *engine) stepParallel(slot units.Slot, couples couplingRule, opsPerPulse
 				*ops += e.ops[w] * opsPerPulse
 			}
 		}
+		e.waves[buf] = next
 		fired = append(fired, next...)
 		wave = next
 	}
+	e.firedAll = fired
 	if env.Cfg.FireTrace != nil {
 		for _, f := range fired {
 			env.Cfg.FireTrace(slot, f)

@@ -74,6 +74,9 @@ func newEnv(cfg Config, positions []geo.Point) (*Env, error) {
 	// Candidate margin: 2σ of shadowing keeps strong positive fades
 	// reachable without probing the whole plane.
 	tr := rach.NewTransport(ch, positions, cfg.TxPower, cfg.Threshold, 2*cfg.ShadowSigmaDB)
+	if cfg.directGeometry {
+		tr.DisableLinkIndex()
+	}
 	tr.CaptureMarginDB = cfg.CaptureMarginDB
 	// Per-sender pulse streams: device i's broadcast channel draws come
 	// from its own "pulse-i" stream, so evaluating distinct senders is
@@ -99,7 +102,12 @@ func newEnv(cfg Config, positions []geo.Point) (*Env, error) {
 		model := cfg.PathLoss
 		tx := cfg.TxPower
 		tr.LinkSampler = func(from, to int, d units.Metre, slot units.Slot) units.DBm {
-			p := tx.Sub(model.Loss(d))
+			// tx − Loss(d) is exactly the transport's cached mean received
+			// power; reuse it when the pair is in the link index.
+			_, p, ok := tr.LinkGeometry(from, to)
+			if !ok {
+				p = tx.Sub(model.Loss(d))
+			}
 			p = p.Add(units.DB(shadow.LinkShadowDB(from, to)))
 			p = p.Add(units.DB(block.GainDB(from, to, slot)))
 			return p
@@ -196,13 +204,20 @@ func (e *Env) ServiceDiscoveryRatio() float64 {
 // lands or the retry limit is hit, returning the number of transmissions
 // spent. It models the H_Connect retransmission loop of Algorithm 2.
 func (e *Env) linkTrials(from, to int) int {
-	d := units.Metre(e.Transport.Position(from).Dist(e.Transport.Position(to)))
+	// The transport's link cache already holds this pair's mean received
+	// power (the merge handshake only probes discovered — in-range — peers);
+	// SampleMean then consumes exactly Sample's draws on top of it.
+	_, mean, ok := e.Transport.LinkGeometry(from, to)
+	if !ok {
+		d := units.Metre(e.Transport.Position(from).Dist(e.Transport.Position(to)))
+		mean = e.Channel.MeanReceivedPower(e.Cfg.TxPower, d)
+	}
 	limit := e.Cfg.ConnectRetryLimit
 	if limit < 1 {
 		limit = 1
 	}
 	for trial := 1; trial <= limit; trial++ {
-		if e.Channel.Sample(e.Cfg.TxPower, d).AtLeast(e.Cfg.Threshold) {
+		if e.Channel.SampleMean(mean).AtLeast(e.Cfg.Threshold) {
 			return trial
 		}
 	}

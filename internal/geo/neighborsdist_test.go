@@ -1,0 +1,166 @@
+package geo
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// TestNeighborsWithDistMatchesNeighbors pins the core contract: the ids and
+// their order are exactly Neighbors', and every reported distance carries
+// Point.Dist's rounding bit for bit.
+func TestNeighborsWithDistMatchesNeighbors(t *testing.T) {
+	src := xrand.NewStream(1)
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + src.Intn(400)
+		pts := UniformDeployment(n, Square(100), src)
+		g := NewGrid(pts, 10)
+		for q := 0; q < 20; q++ {
+			p := Point{X: src.Uniform(0, 100), Y: src.Uniform(0, 100)}
+			radius := src.Uniform(0, 40)
+			self := -1
+			if src.Intn(2) == 0 {
+				self = src.Intn(n)
+			}
+			plain := g.Neighbors(p, radius, self, nil)
+			withD := g.NeighborsWithDist(p, radius, self, nil)
+			if len(plain) != len(withD) {
+				t.Fatalf("trial %d: %d ids vs %d id+dist entries", trial, len(plain), len(withD))
+			}
+			for i := range plain {
+				if withD[i].ID != plain[i] {
+					t.Fatalf("trial %d: order diverges at %d: %v vs %v", trial, i, withD[i].ID, plain[i])
+				}
+				if want := pts[plain[i]].Dist(p); withD[i].Dist != want {
+					t.Fatalf("trial %d: distance to %d is %v, want Point.Dist's %v",
+						trial, plain[i], withD[i].Dist, want)
+				}
+			}
+		}
+	}
+}
+
+// TestGridMatchesBruteForce is the grid's independent correctness oracle
+// (it used to be cross-checked against the deleted kd-tree).
+func TestGridMatchesBruteForce(t *testing.T) {
+	src := xrand.NewStream(2)
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + src.Intn(300)
+		pts := UniformDeployment(n, Square(100), src)
+		g := NewGrid(pts, src.Uniform(1, 30))
+		for q := 0; q < 20; q++ {
+			p := Point{X: src.Uniform(-10, 110), Y: src.Uniform(-10, 110)}
+			radius := src.Uniform(0, 50)
+			self := -1
+			if src.Intn(2) == 0 {
+				self = src.Intn(n)
+			}
+			got := append([]int(nil), g.Neighbors(p, radius, self, nil)...)
+			sort.Ints(got)
+			var want []int
+			for i, pt := range pts {
+				if i != self && pt.Dist2(p) <= radius*radius {
+					want = append(want, i)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: grid %v vs brute %v", trial, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d: grid %v vs brute %v", trial, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestNeighborsWithDistBoundaries exercises the satellite's named edges:
+// a candidate exactly at the radius (inclusive), candidates across cell
+// boundaries, self-exclusion, and empty/zero/negative radii.
+func TestNeighborsWithDistBoundaries(t *testing.T) {
+	// Points straddling cell edges of a cell-size-2 grid; (3,4) is exactly
+	// 5 away from the origin point.
+	pts := []Point{
+		{X: 0, Y: 0},  // 0: the query point
+		{X: 3, Y: 4},  // 1: exactly at distance 5
+		{X: 2, Y: 0},  // 2: exactly on a cell boundary
+		{X: 5, Y: 0},  // 3: at distance 5 along the axis
+		{X: 0, Y: 0},  // 4: coincident with the query point
+		{X: 6, Y: 0},  // 5: outside radius 5
+		{X: -2, Y: 0}, // 6: negative side, on a cell boundary
+	}
+	g := NewGrid(pts, 2)
+
+	ids := func(res []IDDist) []int {
+		out := make([]int, 0, len(res))
+		for _, r := range res {
+			out = append(out, r.ID)
+		}
+		sort.Ints(out)
+		return out
+	}
+
+	// Exactly-at-radius candidates are included; the just-outside one is not.
+	got := ids(g.NeighborsWithDist(pts[0], 5, 0, nil))
+	want := []int{1, 2, 3, 4, 6}
+	if len(got) != len(want) {
+		t.Fatalf("radius 5: got %v want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("radius 5: got %v want %v", got, want)
+		}
+	}
+
+	// The at-radius distances are reported exactly.
+	for _, r := range g.NeighborsWithDist(pts[0], 5, 0, nil) {
+		if r.ID == 1 || r.ID == 3 {
+			if r.Dist != 5 {
+				t.Errorf("candidate %d at the radius reported distance %v, want 5", r.ID, r.Dist)
+			}
+		}
+	}
+
+	// Self-exclusion: the coincident duplicate stays, the query index goes.
+	for _, r := range g.NeighborsWithDist(pts[0], 5, 0, nil) {
+		if r.ID == 0 {
+			t.Error("self was not excluded")
+		}
+		if r.ID == 4 && r.Dist != 0 {
+			t.Errorf("coincident point reported distance %v, want 0", r.Dist)
+		}
+	}
+
+	// Zero radius keeps only coincident points; negative radius keeps none
+	// (same guard as Neighbors).
+	if got := ids(g.NeighborsWithDist(pts[0], 0, 0, nil)); len(got) != 1 || got[0] != 4 {
+		t.Errorf("zero radius: got %v, want just the coincident point", got)
+	}
+	if got := g.NeighborsWithDist(pts[0], -1, 0, nil); len(got) != 0 {
+		t.Errorf("negative radius: got %v, want none", got)
+	}
+	if got := g.Neighbors(pts[0], -1, 0, nil); len(got) != 0 {
+		t.Errorf("Neighbors negative radius: got %v, want none", got)
+	}
+
+	// Empty index.
+	empty := NewGrid(nil, 2)
+	if got := empty.NeighborsWithDist(Point{}, 10, -1, nil); len(got) != 0 {
+		t.Errorf("empty grid: got %v", got)
+	}
+
+	// A radius spanning every cell returns everything but self, with finite
+	// distances.
+	all := g.NeighborsWithDist(pts[0], 100, 0, nil)
+	if len(all) != len(pts)-1 {
+		t.Fatalf("full radius: %d results, want %d", len(all), len(pts)-1)
+	}
+	for _, r := range all {
+		if math.IsNaN(r.Dist) || r.Dist < 0 {
+			t.Errorf("bad distance %v for %d", r.Dist, r.ID)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package rach
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/geo"
@@ -34,5 +35,53 @@ func BenchmarkBroadcastSingle(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.Broadcast(i%400, RACH1, KindPulse, 0, units.Slot(i))
+	}
+}
+
+// benchTransport builds a transport at the paper's density with per-sender
+// streams (the core simulator's configuration), cached or direct.
+func benchTransport(n int, direct bool) *Transport {
+	streams := xrand.NewStreams(int64(n))
+	positions := geo.UniformDeployment(n, geo.ScaledSquare(n, 50, 100), streams.Get("deploy"))
+	ch := radio.PaperChannel(streams)
+	tr := NewTransport(ch, positions, 23, -95, 20)
+	if direct {
+		tr.DisableLinkIndex()
+	}
+	tr.CaptureMarginDB = 6
+	tr.SenderStreams = make([]*xrand.Stream, n)
+	for i := range positions {
+		tr.SenderStreams[i] = streams.Get(fmt.Sprintf("pulse-%d", i))
+	}
+	return tr
+}
+
+// BenchmarkBroadcastCached / BenchmarkBroadcastDirect measure one Broadcast
+// on the steady-state delivery path at paper density: cached walks the link
+// index's packed rows with reused delivery buffers (the zero-allocation
+// path), direct re-derives the candidate set and pair geometry per call.
+func BenchmarkBroadcastCached(b *testing.B) {
+	for _, n := range []int{200, 1000, 5000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			tr := benchTransport(n, false)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Broadcast(i%n, RACH1, KindPulse, 0, units.Slot(i))
+			}
+		})
+	}
+}
+
+func BenchmarkBroadcastDirect(b *testing.B) {
+	for _, n := range []int{200, 1000, 5000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			tr := benchTransport(n, true)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Broadcast(i%n, RACH1, KindPulse, 0, units.Slot(i))
+			}
+		})
 	}
 }

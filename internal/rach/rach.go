@@ -14,7 +14,6 @@ package rach
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/geo"
 	"repro/internal/radio"
@@ -200,9 +199,22 @@ type Transport struct {
 
 	positions []geo.Point
 	grid      *geo.Grid
+	idx       *LinkIndex
+	noIndex   bool
 	reach     units.Metre
 	counters  Counters
 	scratch   []int
+
+	// Reused delivery-path buffers (the zero-allocation broadcast path).
+	// Slices returned by Broadcast/Resolve alias dels and are valid until
+	// the next transmission on this transport.
+	dels      []Delivery
+	plan      BroadcastPlan
+	groups    groupedArrivals
+	groupsAlt groupedArrivals // counting-sort ping-pong buffer
+	recvCount []int32         // counting-sort bucket offsets, len N+1
+	preCount  []int32
+	interf    []units.DBm
 }
 
 // NewTransport builds a transport for the given deployment. The candidate
@@ -213,18 +225,52 @@ type Transport struct {
 func NewTransport(ch *radio.Channel, positions []geo.Point, txPower, threshold units.DBm, marginDB float64) *Transport {
 	// Stretch the budget by marginDB to keep strong positive fades in.
 	reach := radio.MaxRange(ch.Model, txPower.Add(units.DB(marginDB)), threshold, 1e6)
-	cell := float64(reach)
-	if cell <= 0 {
-		cell = 1
-	}
-	return &Transport{
+	t := &Transport{
 		Channel:   ch,
 		Threshold: threshold,
 		TxPower:   txPower,
 		positions: positions,
-		grid:      geo.NewGrid(positions, cell),
 		reach:     reach,
 	}
+	t.Invalidate()
+	return t
+}
+
+// Invalidate rebuilds the spatial grid and the link-geometry cache from the
+// transport's current positions. NewTransport calls it once; callers that
+// re-point or mutate the deployment (mobility snapshots, tests) must call it
+// again before transmitting — the cache holds per-pair distances and mean
+// powers, so stale geometry silently desynchronises every link budget.
+func (t *Transport) Invalidate() {
+	cell := float64(t.reach)
+	if cell <= 0 {
+		cell = 1
+	}
+	t.grid = geo.NewGrid(t.positions, cell)
+	t.idx = nil
+	if !t.noIndex {
+		t.idx = buildLinkIndex(t.grid, t.positions, float64(t.reach), t.Channel, t.TxPower)
+	}
+}
+
+// DisableLinkIndex drops the transport back to direct per-call geometry (grid
+// scan + distance + path loss on every sample). The two paths are bit
+// identical; this exists so differential tests can run the reference side,
+// and as an escape hatch if the O(Σ degree) cache memory is ever unwelcome.
+func (t *Transport) DisableLinkIndex() {
+	t.noIndex = true
+	t.idx = nil
+}
+
+// LinkGeometry returns the cached distance and deterministic mean received
+// power for the ordered pair (from, to). ok is false when the pair is beyond
+// the candidate radius or the cache is disabled; callers then fall back to
+// computing the pair geometry directly.
+func (t *Transport) LinkGeometry(from, to int) (d units.Metre, meanRx units.DBm, ok bool) {
+	if t.idx == nil {
+		return 0, 0, false
+	}
+	return t.idx.Lookup(from, to)
 }
 
 // N returns the number of devices on the transport.
@@ -246,13 +292,33 @@ func (t *Transport) ResetCounters() { t.counters = Counters{} }
 // candidate neighbour, and returns the deliveries whose RSSI met the
 // threshold. The transmission is counted once regardless of how many
 // receivers detect it (a broadcast is one message on the air); each
-// detection increments the reception counter.
+// detection increments the reception counter. The returned slice aliases a
+// transport-owned buffer and is valid until the next transmission.
 func (t *Transport) Broadcast(from int, codec Codec, kind Kind, service int, slot units.Slot) []Delivery {
 	t.counters.Tx[codec]++
 	t.counters.TxBytes[codec] += PayloadBytes(kind)
+	out := t.dels[:0]
+	if t.idx != nil {
+		ids, dist, mean := t.idx.Row(from)
+		for q, j := range ids {
+			rx := t.sampleMean(from, int(j), dist[q], mean[q], slot)
+			if !rx.AtLeast(t.Threshold) {
+				continue
+			}
+			t.counters.Rx[codec]++
+			out = append(out, Delivery{
+				To: int(j),
+				Msg: Message{
+					From: from, Codec: codec, Kind: kind,
+					Service: service, Slot: slot, RSSI: rx,
+				},
+			})
+		}
+		t.dels = out
+		return out
+	}
 	src := t.positions[from]
 	t.scratch = t.grid.Neighbors(src, float64(t.reach), from, t.scratch[:0])
-	var out []Delivery
 	for _, j := range t.scratch {
 		d := units.Metre(src.Dist(t.positions[j]))
 		rx := t.sample(from, j, d, slot)
@@ -268,6 +334,7 @@ func (t *Transport) Broadcast(from int, codec Codec, kind Kind, service int, slo
 			},
 		})
 	}
+	t.dels = out
 	return out
 }
 
@@ -279,8 +346,15 @@ func (t *Transport) Broadcast(from int, codec Codec, kind Kind, service int, slo
 func (t *Transport) Unicast(from, to int, codec Codec, kind Kind, service int, slot units.Slot) (Message, bool) {
 	t.counters.Tx[codec]++
 	t.counters.TxBytes[codec] += PayloadBytes(kind)
-	d := units.Metre(t.positions[from].Dist(t.positions[to]))
-	rx := t.sample(from, to, d, slot)
+	var rx units.DBm
+	if d, mean, ok := t.LinkGeometry(from, to); ok {
+		rx = t.sampleMean(from, to, d, mean, slot)
+	} else {
+		// Beyond the candidate radius (or cache disabled): derive the pair
+		// geometry directly. Identical draws either way.
+		d := units.Metre(t.positions[from].Dist(t.positions[to]))
+		rx = t.sample(from, to, d, slot)
+	}
 	if !rx.AtLeast(t.Threshold) {
 		return Message{}, false
 	}
@@ -333,37 +407,42 @@ type BroadcastPlan struct {
 	service  func(sender int) int
 	slot     units.Slot
 	capture  bool  // capture/SINR grouping; false = plain threshold mode
-	preamble []int // per sender index, capture mode only
+	preamble []int // per sender index, capture mode only; nil = all zero
 	arrivals [][]arrival
 }
 
 // PlanBroadcastAll begins a broadcast wave: it charges one transmission per
 // sender and performs all draws that must come from shared streams (the
 // preamble assignment), leaving the per-sender channel evaluation to
-// EvalSender. The returned plan is valid until the next wave.
+// EvalSender. The returned plan is transport-owned and valid until the next
+// wave; its buffers (per-sender arrival lists, preamble draws) are reused
+// across waves so the steady state plans without allocating.
 func (t *Transport) PlanBroadcastAll(senders []int, codec Codec, kind Kind, service func(sender int) int, slot units.Slot) *BroadcastPlan {
-	p := &BroadcastPlan{
-		t: t, senders: senders, codec: codec, kind: kind,
-		service: service, slot: slot,
-		// CaptureMarginDB < 0 disables the collision model; a single
-		// sender cannot collide — both fall back to plain threshold
-		// delivery (the behaviour of repeated Broadcast calls).
-		capture:  !(t.CaptureMarginDB < 0 || len(senders) == 1),
-		arrivals: make([][]arrival, len(senders)),
+	p := &t.plan
+	p.t = t
+	p.senders = senders
+	p.codec, p.kind, p.service, p.slot = codec, kind, service, slot
+	// CaptureMarginDB < 0 disables the collision model; a single sender
+	// cannot collide — both fall back to plain threshold delivery (the
+	// behaviour of repeated Broadcast calls).
+	p.capture = !(t.CaptureMarginDB < 0 || len(senders) == 1)
+	if cap(p.arrivals) >= len(senders) {
+		p.arrivals = p.arrivals[:len(senders)]
+	} else {
+		p.arrivals = append(p.arrivals[:cap(p.arrivals)],
+			make([][]arrival, len(senders)-cap(p.arrivals))...)
 	}
 	t.counters.Tx[codec] += uint64(len(senders))
 	t.counters.TxBytes[codec] += uint64(len(senders)) * PayloadBytes(kind)
+	p.preamble = p.preamble[:0]
 	if p.capture {
 		// Preamble assignment: senders sharing a preamble contend;
-		// distinct preambles are orthogonal.
+		// distinct preambles are orthogonal. A nil/empty preamble list
+		// means every sender shares preamble 0.
 		pool := t.Preambles
-		if pool < 2 || t.PreambleSrc == nil {
-			pool = 1
-		}
-		p.preamble = make([]int, len(senders))
-		if pool > 1 {
-			for k := range senders {
-				p.preamble[k] = t.PreambleSrc.Intn(pool)
+		if pool >= 2 && t.PreambleSrc != nil {
+			for range senders {
+				p.preamble = append(p.preamble, t.PreambleSrc.Intn(pool))
 			}
 		}
 	}
@@ -381,14 +460,26 @@ func (t *Transport) PlanBroadcastAll(senders []int, codec Codec, kind Kind, serv
 func (p *BroadcastPlan) EvalSender(k int, scratch []int) []int {
 	t := p.t
 	s := p.senders[k]
+	arr := p.arrivals[k][:0]
+	if t.idx != nil {
+		ids, dist, mean := t.idx.Row(s)
+		for q, j := range ids {
+			rx := t.sampleMean(s, int(j), dist[q], mean[q], p.slot)
+			// The capture model drops sub-threshold arrivals outright; the
+			// SINR model keeps them — they still interfere.
+			if !(p.capture && t.SINRMode) && !rx.AtLeast(t.Threshold) {
+				continue
+			}
+			arr = append(arr, arrival{recv: int(j), rssi: rx})
+		}
+		p.arrivals[k] = arr
+		return scratch
+	}
 	src := t.positions[s]
 	scratch = t.grid.Neighbors(src, float64(t.reach), s, scratch[:0])
-	arr := p.arrivals[k][:0]
 	for _, j := range scratch {
 		d := units.Metre(src.Dist(t.positions[j]))
 		rx := t.sample(s, j, d, p.slot)
-		// The capture model drops sub-threshold arrivals outright; the
-		// SINR model keeps them — they still interfere.
 		if !(p.capture && t.SINRMode) && !rx.AtLeast(t.Threshold) {
 			continue
 		}
@@ -409,14 +500,87 @@ func (p *BroadcastPlan) ReceiverContiguous() bool {
 	return p.capture || len(p.senders) <= 1
 }
 
+// groupedArrival is Resolve's flat contention record: one evaluated arrival
+// tagged with its contention group (receiver, preamble) and its sender's
+// plan index k, which preserves the within-group contender order the
+// previous map-of-slices grouping produced (senders appended in k order).
+type groupedArrival struct {
+	recv     int32
+	preamble int32
+	sender   int32
+	rssi     units.DBm
+}
+
+type groupedArrivals []groupedArrival
+
+// sortGroups orders t.groups by (recv, preamble, sender-index) without a
+// comparison sort: the flatten pass emits records in sender-index order, so
+// two stable counting-sort passes — by preamble (skipped when every sender
+// shares preamble 0), then by receiver — complete an LSD radix sort in
+// O(arrivals + N + pool). A wave at n=5000 carries ~60k arrivals; the
+// comparison sort's A·log A interface calls dominated the whole slot, and a
+// per-wave map of per-group slices (the original grouping) allocates — this
+// is the shape that is both fast and allocation-free.
+func (t *Transport) sortGroups(pool int) {
+	src := t.groups
+	if len(src) == 0 {
+		return
+	}
+	if cap(t.groupsAlt) < len(src) {
+		t.groupsAlt = make(groupedArrivals, len(src))
+	}
+	dst := t.groupsAlt[:len(src)]
+	if pool > 1 {
+		if cap(t.preCount) < pool+1 {
+			t.preCount = make([]int32, pool+1)
+		}
+		counts := t.preCount[:pool+1]
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i := range src {
+			counts[src[i].preamble+1]++
+		}
+		for i := 1; i < len(counts); i++ {
+			counts[i] += counts[i-1]
+		}
+		for i := range src {
+			dst[counts[src[i].preamble]] = src[i]
+			counts[src[i].preamble]++
+		}
+		src, dst = dst, src
+	}
+	n := int32(len(t.positions))
+	if cap(t.recvCount) < int(n)+1 {
+		t.recvCount = make([]int32, n+1)
+	}
+	counts := t.recvCount[:n+1]
+	for i := range counts {
+		counts[i] = 0
+	}
+	for i := range src {
+		counts[src[i].recv+1]++
+	}
+	for i := 1; i < len(counts); i++ {
+		counts[i] += counts[i-1]
+	}
+	for i := range src {
+		dst[counts[src[i].recv]] = src[i]
+		counts[src[i].recv]++
+	}
+	t.groups, t.groupsAlt = dst, src
+}
+
 // Resolve arbitrates the evaluated arrivals into deliveries: in capture
 // mode it groups arrivals per (receiver, preamble) and applies the capture
 // or SINR rule; in plain mode every above-threshold arrival is delivered
-// sender-major. Decoded PSs are charged to the reception counters here.
+// sender-major. Decoded PSs are charged to the reception counters here. The
+// returned slice aliases a transport-owned buffer and is valid until the
+// next transmission.
 func (p *BroadcastPlan) Resolve() []Delivery {
 	t := p.t
+	out := t.dels[:0]
 	if !p.capture {
-		var out []Delivery
 		for k, s := range p.senders {
 			for _, a := range p.arrivals[k] {
 				t.counters.Rx[p.codec]++
@@ -429,38 +593,39 @@ func (p *BroadcastPlan) Resolve() []Delivery {
 				})
 			}
 		}
+		t.dels = out
 		return out
 	}
-	type contender struct {
-		sender int
-		rssi   units.DBm
-	}
-	// Group arrivals per (receiver, preamble).
-	type slotKey struct{ recv, preamble int }
-	byGroup := make(map[slotKey][]contender)
+	// Flatten arrivals into contention records and radix-sort group-major.
+	// Flatten order is sender-index order and the counting passes are
+	// stable, so the resulting group sequence and within-group contender
+	// order match what sorting map keys and appending per sender used to
+	// produce — with no map, no per-group slices, and reusable backing
+	// arrays.
+	g := t.groups[:0]
+	pool := 1
 	for k, s := range p.senders {
-		pre := 0
-		if p.preamble != nil {
-			pre = p.preamble[k]
+		pre := int32(0)
+		if len(p.preamble) > 0 {
+			pre = int32(p.preamble[k])
+			pool = t.Preambles
 		}
 		for _, a := range p.arrivals[k] {
-			key := slotKey{recv: a.recv, preamble: pre}
-			byGroup[key] = append(byGroup[key], contender{sender: s, rssi: a.rssi})
+			g = append(g, groupedArrival{
+				recv: int32(a.recv), preamble: pre,
+				sender: int32(s), rssi: a.rssi,
+			})
 		}
 	}
-	keys := make([]slotKey, 0, len(byGroup))
-	for k := range byGroup {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { // deterministic delivery order
-		if keys[i].recv != keys[j].recv {
-			return keys[i].recv < keys[j].recv
+	t.groups = g
+	t.sortGroups(pool)
+	g = t.groups
+	for lo := 0; lo < len(g); {
+		hi := lo + 1
+		for hi < len(g) && g[hi].recv == g[lo].recv && g[hi].preamble == g[lo].preamble {
+			hi++
 		}
-		return keys[i].preamble < keys[j].preamble
-	})
-	var out []Delivery
-	for _, k := range keys {
-		arr := byGroup[k]
+		arr := g[lo:hi]
 		best, second := 0, -1
 		for i := 1; i < len(arr); i++ {
 			switch {
@@ -472,28 +637,33 @@ func (p *BroadcastPlan) Resolve() []Delivery {
 			}
 		}
 		if t.SINRMode {
-			interferers := make([]units.DBm, 0, len(arr)-1)
-			for i, a := range arr {
+			interferers := t.interf[:0]
+			for i := range arr {
 				if i != best {
-					interferers = append(interferers, a.rssi)
+					interferers = append(interferers, arr[i].rssi)
 				}
 			}
+			t.interf = interferers
 			sinr := radio.SINR(arr[best].rssi, interferers, t.NoiseFloor)
 			if !radio.Detectable(sinr, t.RequiredSNRDB) {
+				lo = hi
 				continue
 			}
 		} else if second >= 0 && float64(arr[best].rssi-arr[second].rssi) < t.CaptureMarginDB {
+			lo = hi
 			continue // collision: nothing decodable on this preamble
 		}
 		t.counters.Rx[p.codec]++
 		out = append(out, Delivery{
-			To: k.recv,
+			To: int(arr[best].recv),
 			Msg: Message{
-				From: arr[best].sender, Codec: p.codec, Kind: p.kind,
-				Service: p.service(arr[best].sender), Slot: p.slot, RSSI: arr[best].rssi,
+				From: int(arr[best].sender), Codec: p.codec, Kind: p.kind,
+				Service: p.service(int(arr[best].sender)), Slot: p.slot, RSSI: arr[best].rssi,
 			},
 		})
+		lo = hi
 	}
+	t.dels = out
 	return out
 }
 
@@ -510,10 +680,27 @@ func (t *Transport) sample(from, to int, d units.Metre, slot units.Slot) units.D
 	return t.Channel.Sample(t.TxPower, d)
 }
 
+// sampleMean is sample with the pair's deterministic mean received power
+// already cached: the same three-way draw dispatch, minus the per-sample
+// path-loss evaluation. The LinkSampler branch still passes the distance —
+// correlated-shadowing samplers key off the pair, not the mean.
+func (t *Transport) sampleMean(from, to int, d units.Metre, mean units.DBm, slot units.Slot) units.DBm {
+	if t.LinkSampler != nil {
+		return t.LinkSampler(from, to, d, slot)
+	}
+	if t.SenderStreams != nil {
+		return t.Channel.SampleFromMean(t.SenderStreams[from], mean)
+	}
+	return t.Channel.SampleMean(mean)
+}
+
 // MeanRSSI returns the expected (path-loss-only) received power between two
 // devices — what multi-sample RSSI averaging converges to, and the natural
 // deterministic edge weight for verification against reference MSTs.
 func (t *Transport) MeanRSSI(from, to int) units.DBm {
+	if _, mean, ok := t.LinkGeometry(from, to); ok {
+		return mean
+	}
 	d := units.Metre(t.positions[from].Dist(t.positions[to]))
 	return t.Channel.MeanReceivedPower(t.TxPower, d)
 }
@@ -523,6 +710,25 @@ func (t *Transport) MeanRSSI(from, to int) units.DBm {
 // to build the reference graph G(V,E).
 func (t *Transport) DeterministicNeighbors(i int) []int {
 	detReach := radio.MaxRange(t.Channel.Model, t.TxPower, t.Threshold, 1e6)
+	if t.idx != nil && detReach <= t.reach {
+		// The cached candidate row is a radius-reach grid query in cell-scan
+		// order; restricting it to Dist2 ≤ detReach² yields exactly the ids,
+		// in exactly the order, a direct radius-detReach query would return
+		// (both scans walk cells lexicographically from the same centre, and
+		// within-cell bucket order is fixed). The distance filter must use
+		// Dist2 like the grid does — the cached hypot distance can round the
+		// other way at the boundary.
+		src := t.positions[i]
+		r2 := float64(detReach) * float64(detReach)
+		ids, _, mean := t.idx.Row(i)
+		var out []int
+		for q, j := range ids {
+			if src.Dist2(t.positions[j]) <= r2 && mean[q].AtLeast(t.Threshold) {
+				out = append(out, int(j))
+			}
+		}
+		return out
+	}
 	cands := t.grid.Neighbors(t.positions[i], float64(detReach), i, nil)
 	out := cands[:0]
 	for _, j := range cands {

@@ -90,7 +90,17 @@ func (c *Channel) MeanReceivedPower(txPower units.DBm, d units.Metre) units.DBm 
 // power plus a fresh shadowing draw plus a fresh fading draw. Each call is
 // an independent channel realisation, modelling a new PS transmission.
 func (c *Channel) Sample(txPower units.DBm, d units.Metre) units.DBm {
-	p := c.MeanReceivedPower(txPower, d)
+	return c.SampleMean(c.MeanReceivedPower(txPower, d))
+}
+
+// SampleMean is Sample with the deterministic part already in hand: it adds
+// fresh shadowing and fading draws from the channel's shared streams to a
+// precomputed mean received power. Callers holding a link-geometry cache
+// (rach.LinkIndex) use it to skip the per-sample path-loss evaluation; the
+// draw sequence is exactly Sample's, so the two are interchangeable bit for
+// bit when the mean matches.
+func (c *Channel) SampleMean(mean units.DBm) units.DBm {
+	p := mean
 	p = p.Add(units.DB(c.ShadowingDB()))
 	p = p.Add(units.DB(c.FadingDB()))
 	return p
@@ -102,7 +112,16 @@ func (c *Channel) Sample(txPower units.DBm, d units.Metre) units.DBm {
 // makes concurrent sampling deterministic: the draws a transmitter consumes
 // depend only on its own sample sequence, not on global call order.
 func (c *Channel) SampleFrom(src *xrand.Stream, txPower units.DBm, d units.Metre) units.DBm {
-	p := c.MeanReceivedPower(txPower, d)
+	return c.SampleFromMean(src, c.MeanReceivedPower(txPower, d))
+}
+
+// SampleFromMean is SampleFrom with the deterministic part precomputed — the
+// per-sender-stream counterpart of SampleMean, and the form the transport's
+// steady-state broadcast path uses once the link cache has the mean. The
+// conditional draw consumption (no shadowing draw when σ = 0, no fading draw
+// for FadingNone) mirrors SampleFrom exactly.
+func (c *Channel) SampleFromMean(src *xrand.Stream, mean units.DBm) units.DBm {
+	p := mean
 	if c.ShadowSigmaDB != 0 {
 		p = p.Add(units.DB(src.LogNormalDB(c.ShadowSigmaDB)))
 	}
