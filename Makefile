@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-core ci bench bench-slot bench-link sweep examples fuzz clean
+.PHONY: all build test vet race race-core ci bench bench-slot bench-link bench-event bench-record bench-compare sweep examples fuzz clean
 
 all: build vet test
 
@@ -40,6 +40,33 @@ bench-link:
 	$(GO) test -run '^$$' -bench 'BenchmarkStepSlot|BenchmarkBroadcastCached|BenchmarkBroadcastDirect' -benchmem ./internal/core/ ./internal/rach/ \
 		| $(GO) run ./cmd/benchjson -o BENCH_slot.json
 	@cat BENCH_slot.json
+
+# Whole-run slot vs. event engine: the dense paper configs (where the two
+# are near-identical) and the sparse ProSe-period config (where the event
+# engine skips >99% of slots). See EXPERIMENTS.md "Event engine".
+bench-event:
+	$(GO) test -run '^$$' -bench 'BenchmarkRunFST|BenchmarkRunST' -benchtime 3x -benchmem ./internal/core/
+
+# Full hot-path record: per-slot + broadcast benchmarks at the default
+# benchtime, whole-run engine benchmarks at a fixed iteration count, all
+# merged into BENCH_slot.json.
+bench-record:
+	{ $(GO) test -run '^$$' -bench 'BenchmarkStepSlot|BenchmarkBroadcastCached|BenchmarkBroadcastDirect' -benchmem ./internal/core/ ./internal/rach/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkRunFST|BenchmarkRunST' -benchtime 3x -benchmem ./internal/core/ ; } \
+		| $(GO) run ./cmd/benchjson -o BENCH_slot.json
+	@cat BENCH_slot.json
+
+# Re-run the recorded benchmarks and diff against the committed
+# BENCH_slot.json: full report first (times and stepping-benchmark alloc
+# counts are machine/b.N-dependent, so ungated), then a hard gate on the
+# designed zero-allocation broadcast path.
+bench-compare:
+	{ $(GO) test -run '^$$' -bench 'BenchmarkStepSlot|BenchmarkBroadcastCached|BenchmarkBroadcastDirect' -benchmem ./internal/core/ ./internal/rach/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkRunFST|BenchmarkRunST' -benchtime 3x -benchmem ./internal/core/ ; } \
+		| $(GO) run ./cmd/benchjson -o /tmp/bench-new.json
+	$(GO) run ./cmd/benchjson -old BENCH_slot.json -new /tmp/bench-new.json
+	$(GO) run ./cmd/benchjson -old BENCH_slot.json -new /tmp/bench-new.json \
+		-match BenchmarkBroadcastCached -max-alloc-regress 0
 
 # Regenerate every table and figure of the paper's evaluation.
 sweep:

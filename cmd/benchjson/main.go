@@ -9,6 +9,21 @@
 // Only benchmark result lines are parsed; everything else (PASS, ok, build
 // noise) is ignored. Missing -benchmem columns leave the alloc fields at
 // zero.
+//
+// With -old and -new it instead compares two such JSON records and prints
+// the per-benchmark time and allocation deltas:
+//
+//	benchjson -old BENCH_slot.json -new /tmp/bench.json \
+//	    -max-time-regress 30 -max-alloc-regress 0
+//
+// Benchmarks are matched by name with the machine-dependent GOMAXPROCS
+// suffix ("-8") stripped; names present in only one record are reported but
+// not compared. A non-negative -max-time-regress (percent) or
+// -max-alloc-regress (percent over the old allocs/op; with a zero baseline
+// any allocation increase trips it) turns the corresponding regression into
+// a nonzero exit, which is how CI gates the hot path. -match restricts the
+// comparison to names matching a regexp, so the gate can cover only the
+// benchmarks whose counts are stable at CI's short iteration budget.
 package main
 
 import (
@@ -17,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -65,9 +81,141 @@ func parseLine(line string) (Result, bool) {
 	return r, true
 }
 
+// baseName strips the trailing GOMAXPROCS suffix go test appends to
+// benchmark names ("BenchmarkStepSlot/seq/n=1000-8" → ".../n=1000"), so
+// records captured on machines with different core counts still match.
+func baseName(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 || i == len(name)-1 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+func loadResults(path string) (map[string]Result, []string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var results []Result
+	if err := json.Unmarshal(raw, &results); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	byName := make(map[string]Result, len(results))
+	var order []string
+	for _, r := range results {
+		name := baseName(r.Name)
+		if _, dup := byName[name]; !dup {
+			order = append(order, name)
+		}
+		byName[name] = r
+	}
+	return byName, order, nil
+}
+
+// pct returns the relative change from old to new in percent; a zero old
+// value reports +Inf for any increase (rendered as "new").
+func pct(oldV, newV float64) float64 {
+	if oldV == 0 {
+		if newV == 0 {
+			return 0
+		}
+		return float64(999999)
+	}
+	return (newV - oldV) / oldV * 100
+}
+
+// compare diffs two benchmark records and returns the number of threshold
+// violations. maxTime/maxAlloc are regression budgets in percent; negative
+// disables the respective gate. A non-nil match restricts the diff to
+// benchmarks whose stripped name matches — how CI gates only the
+// benchmarks whose counts are stable across iteration budgets.
+func compare(w *bufio.Writer, oldPath, newPath string, match *regexp.Regexp, maxTime, maxAlloc float64) (violations int, err error) {
+	oldBy, _, err := loadResults(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newBy, newOrder, err := loadResults(newPath)
+	if err != nil {
+		return 0, err
+	}
+	fmt.Fprintf(w, "%-52s %14s %14s %9s %9s\n", "benchmark", "old ns/op", "new ns/op", "time", "allocs")
+	for _, name := range newOrder {
+		if match != nil && !match.MatchString(name) {
+			continue
+		}
+		n := newBy[name]
+		o, ok := oldBy[name]
+		if !ok {
+			fmt.Fprintf(w, "%-52s %14s %14.0f %9s %9s  (new benchmark, not compared)\n",
+				name, "-", n.NsPerOp, "-", "-")
+			continue
+		}
+		dt := pct(o.NsPerOp, n.NsPerOp)
+		da := pct(o.AllocsPerOp, n.AllocsPerOp)
+		mark := ""
+		if maxTime >= 0 && dt > maxTime {
+			mark += "  TIME REGRESSION"
+			violations++
+		}
+		if maxAlloc >= 0 && (da > maxAlloc || (o.AllocsPerOp == 0 && n.AllocsPerOp > 0)) {
+			mark += "  ALLOC REGRESSION"
+			violations++
+		}
+		fmt.Fprintf(w, "%-52s %14.0f %14.0f %+8.1f%% %+8.1f%%%s\n",
+			name, o.NsPerOp, n.NsPerOp, dt, da, mark)
+	}
+	for name := range oldBy {
+		if match != nil && !match.MatchString(name) {
+			continue
+		}
+		if _, ok := newBy[name]; !ok {
+			fmt.Fprintf(w, "%-52s  (dropped: present only in %s)\n", name, oldPath)
+		}
+	}
+	return violations, nil
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	oldPath := flag.String("old", "", "baseline JSON record (enables compare mode with -new)")
+	newPath := flag.String("new", "", "candidate JSON record (enables compare mode with -old)")
+	matchStr := flag.String("match", "", "compare only benchmarks whose name matches this regexp")
+	maxTime := flag.Float64("max-time-regress", -1, "fail if ns/op regresses by more than this percent (negative disables)")
+	maxAlloc := flag.Float64("max-alloc-regress", -1, "fail if allocs/op regresses by more than this percent (negative disables)")
 	flag.Parse()
+
+	if (*oldPath == "") != (*newPath == "") {
+		fmt.Fprintln(os.Stderr, "benchjson: -old and -new must be given together")
+		os.Exit(1)
+	}
+	if *oldPath != "" {
+		var match *regexp.Regexp
+		if *matchStr != "" {
+			var err error
+			if match, err = regexp.Compile(*matchStr); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson: -match:", err)
+				os.Exit(1)
+			}
+		}
+		w := bufio.NewWriter(os.Stdout)
+		violations, err := compare(w, *oldPath, *newPath, match, *maxTime, *maxAlloc)
+		w.Flush()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if violations > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark regression(s) above threshold\n", violations)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var results []Result
 	sc := bufio.NewScanner(os.Stdin)

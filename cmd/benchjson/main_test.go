@@ -1,6 +1,14 @@
 package main
 
-import "testing"
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	r, ok := parseLine("BenchmarkBroadcastCached/n=1000-8   \t  50000\t 23456 ns/op\t 0 B/op\t 0 allocs/op")
@@ -26,5 +34,105 @@ func TestParseLine(t *testing.T) {
 	r, ok = parseLine("BenchmarkStepSlot/seq/n=200-8 \t 9999 \t 100.5 ns/op")
 	if !ok || r.NsPerOp != 100.5 || r.AllocsPerOp != 0 {
 		t.Fatalf("parsed %+v ok=%v", r, ok)
+	}
+}
+
+func TestBaseName(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkStepSlot/seq/n=1000-8":  "BenchmarkStepSlot/seq/n=1000",
+		"BenchmarkStepSlot/seq/n=1000-32": "BenchmarkStepSlot/seq/n=1000",
+		"BenchmarkRunFST/event/n=200":     "BenchmarkRunFST/event/n=200",
+		"BenchmarkOdd-suffix":             "BenchmarkOdd-suffix",
+	}
+	for in, want := range cases {
+		if got := baseName(in); got != want {
+			t.Errorf("baseName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func writeRecord(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareDetectsRegressions(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeRecord(t, dir, "old.json", `[
+		{"name": "BenchmarkStepSlot/seq/n=1000-8", "iterations": 100, "ns_per_op": 1000, "allocs_per_op": 0},
+		{"name": "BenchmarkRunFST/slot/n=200-8", "iterations": 10, "ns_per_op": 500, "allocs_per_op": 5},
+		{"name": "BenchmarkGone-8", "iterations": 10, "ns_per_op": 1, "allocs_per_op": 0}
+	]`)
+	newPath := writeRecord(t, dir, "new.json", `[
+		{"name": "BenchmarkStepSlot/seq/n=1000-16", "iterations": 100, "ns_per_op": 1500, "allocs_per_op": 2},
+		{"name": "BenchmarkRunFST/slot/n=200-16", "iterations": 10, "ns_per_op": 400, "allocs_per_op": 5},
+		{"name": "BenchmarkFresh-16", "iterations": 10, "ns_per_op": 9, "allocs_per_op": 0}
+	]`)
+
+	// Gates off: report only, no violations.
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	v, err := compare(w, oldPath, newPath, nil, -1, -1)
+	w.Flush()
+	if err != nil || v != 0 {
+		t.Fatalf("ungated compare: violations=%d err=%v", v, err)
+	}
+	out := buf.String()
+	for _, want := range []string{"BenchmarkStepSlot/seq/n=1000", "new benchmark", "dropped"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	// Time gate at 20%: the 1000→1500 ns/op jump (+50%) violates; the
+	// improved benchmark does not.
+	buf.Reset()
+	w = bufio.NewWriter(&buf)
+	v, err = compare(w, oldPath, newPath, nil, 20, -1)
+	w.Flush()
+	if err != nil || v != 1 {
+		t.Fatalf("time gate: violations=%d err=%v\n%s", v, err, buf.String())
+	}
+
+	// Alloc gate at 0%: 0→2 allocs/op violates even though the percent
+	// over a zero baseline is degenerate; 5→5 passes.
+	buf.Reset()
+	w = bufio.NewWriter(&buf)
+	v, err = compare(w, oldPath, newPath, nil, -1, 0)
+	w.Flush()
+	if err != nil || v != 1 {
+		t.Fatalf("alloc gate: violations=%d err=%v\n%s", v, err, buf.String())
+	}
+
+	// A -match filter scopes the gate: restricted to RunFST, the alloc
+	// violation above disappears and the other benchmarks vanish from the
+	// report entirely.
+	buf.Reset()
+	w = bufio.NewWriter(&buf)
+	v, err = compare(w, oldPath, newPath, regexp.MustCompile("BenchmarkRunFST"), -1, 0)
+	w.Flush()
+	if err != nil || v != 0 {
+		t.Fatalf("matched alloc gate: violations=%d err=%v\n%s", v, err, buf.String())
+	}
+	if out := buf.String(); strings.Contains(out, "StepSlot") || strings.Contains(out, "BenchmarkGone") {
+		t.Errorf("filtered report still mentions excluded benchmarks:\n%s", out)
+	}
+}
+
+func TestCompareRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	good := writeRecord(t, dir, "good.json", `[{"name": "BenchmarkX-8", "iterations": 1, "ns_per_op": 1}]`)
+	bad := writeRecord(t, dir, "bad.json", `{not json`)
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if _, err := compare(w, good, bad, nil, -1, -1); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := compare(w, filepath.Join(dir, "missing.json"), good, nil, -1, -1); err == nil {
+		t.Error("missing file accepted")
 	}
 }

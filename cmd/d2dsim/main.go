@@ -11,6 +11,7 @@
 //	d2dsim -exp ablation-topology -n 50 -seeds 3
 //	d2dsim -exp ablation-search -sizes 32,128,512
 //	d2dsim -exp single -proto ST -n 200 -seed 7
+//	d2dsim -exp single -proto FST -n 200 -engine event
 //	d2dsim -exp single -proto ST -n 1000 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -41,6 +42,7 @@ func main() {
 		maxSlots    = flag.Int64("maxslots", 0, "override the per-run slot cap (0 = default)")
 		workers     = flag.Int("workers", 0, "sweep worker pool size (0 = NumCPU)")
 		slotWorkers = flag.Int("slotworkers", 0, "per-run slot engine workers (0/1 = sequential, <0 = NumCPU); results are identical for every value")
+		engine      = flag.String("engine", "", "stepping strategy: slot steps every slot, event skips inert slots via next-fire scheduling (default slot); results are identical for either")
 		csv         = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		plot        = flag.Bool("plot", false, "also draw fig3/fig4 as a terminal line chart")
 		cfgPath     = flag.String("config", "", "run -exp single from a JSON manifest (overrides -n/-seed)")
@@ -87,23 +89,24 @@ func main() {
 		return
 	}
 	if *cfgPath != "" {
-		if err := runFromManifest(*cfgPath, *proto, *slotWorkers); err != nil {
+		if err := runFromManifest(*cfgPath, *proto, *slotWorkers, *engine); err != nil {
 			fmt.Fprintln(os.Stderr, "d2dsim:", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	if err := run(*exp, *sizesStr, *seeds, *baseSeed, *n, *proto, *maxSlots, *workers, *slotWorkers, *csv, *plot); err != nil {
+	if err := run(*exp, *sizesStr, *seeds, *baseSeed, *n, *proto, *maxSlots, *workers, *slotWorkers, *engine, *csv, *plot); err != nil {
 		fmt.Fprintln(os.Stderr, "d2dsim:", err)
 		os.Exit(1)
 	}
 }
 
 // runFromManifest executes one protocol run pinned by a JSON manifest.
-// Workers is a throughput knob, not a model parameter, so it is not part of
-// the manifest; the flag applies on top and cannot change the result.
-func runFromManifest(path, proto string, slotWorkers int) error {
+// Workers and Engine are throughput knobs, not model parameters, so they are
+// not part of the manifest; the flags apply on top and cannot change the
+// result.
+func runFromManifest(path, proto string, slotWorkers int, engine string) error {
 	m, err := manifest.Load(path)
 	if err != nil {
 		return err
@@ -113,6 +116,7 @@ func runFromManifest(path, proto string, slotWorkers int) error {
 		return err
 	}
 	cfg.Workers = slotWorkers
+	cfg.Engine = engine
 	env, err := core.NewEnv(cfg)
 	if err != nil {
 		return err
@@ -124,7 +128,18 @@ func runFromManifest(path, proto string, slotWorkers int) error {
 	res := p.Run(env)
 	fmt.Println(res)
 	fmt.Printf("energy: %v\n", res.Energy)
+	printSlotRatio(engine, res)
 	return nil
+}
+
+// printSlotRatio reports how much of the slot span the event engine actually
+// stepped — the sparsity the speedup comes from.
+func printSlotRatio(engine string, res core.Result) {
+	if engine != core.EngineEvent || res.TotalSlots == 0 {
+		return
+	}
+	fmt.Printf("active slots: %d/%d (%.1f%%)\n",
+		res.ActiveSlots, res.TotalSlots, 100*float64(res.ActiveSlots)/float64(res.TotalSlots))
 }
 
 func protocolByName(name string) (core.Protocol, error) {
@@ -140,7 +155,7 @@ func protocolByName(name string) (core.Protocol, error) {
 	}
 }
 
-func run(exp, sizesStr string, seeds int, baseSeed int64, n int, proto string, maxSlots int64, workers, slotWorkers int, csv, plot bool) error {
+func run(exp, sizesStr string, seeds int, baseSeed int64, n int, proto string, maxSlots int64, workers, slotWorkers int, engine string, csv, plot bool) error {
 	emit := func(t *metrics.Table) error {
 		if csv {
 			return t.RenderCSV(os.Stdout)
@@ -155,7 +170,7 @@ func run(exp, sizesStr string, seeds int, baseSeed int64, n int, proto string, m
 		return experiments.RunSweep(experiments.Options{
 			Sizes: sizes, Seeds: seeds, BaseSeed: baseSeed,
 			MaxSlots: units.Slot(maxSlots), Workers: workers,
-			SlotWorkers: slotWorkers,
+			SlotWorkers: slotWorkers, Engine: engine,
 		})
 	}
 
@@ -322,6 +337,7 @@ func run(exp, sizesStr string, seeds int, baseSeed int64, n int, proto string, m
 	case "single":
 		cfg := core.PaperConfig(n, baseSeed)
 		cfg.Workers = slotWorkers
+		cfg.Engine = engine
 		if maxSlots > 0 {
 			cfg.MaxSlots = units.Slot(maxSlots)
 		}
@@ -337,6 +353,7 @@ func run(exp, sizesStr string, seeds int, baseSeed int64, n int, proto string, m
 		fmt.Println(res)
 		fmt.Printf("service discovery: %.1f%%, discovered links: %d\n",
 			100*res.ServiceDiscovery, res.DiscoveredLinks)
+		printSlotRatio(engine, res)
 		if res.TreeEdges != nil {
 			fmt.Printf("tree: %d edges over %d phases, weight %.1f\n",
 				len(res.TreeEdges), res.TreePhases, res.TreeWeight)

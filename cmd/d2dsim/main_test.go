@@ -31,36 +31,36 @@ func TestParseSizesErrors(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("nonsense", "10", 1, 1, 10, "ST", 0, 1, 0, false, false); err == nil {
+	if err := run("nonsense", "10", 1, 1, 10, "ST", 0, 1, 0, "", false, false); err == nil {
 		t.Error("unknown experiment should error")
 	}
 }
 
 func TestRunUnknownProtocol(t *testing.T) {
-	if err := run("single", "10", 1, 1, 10, "XYZ", 0, 1, 0, false, false); err == nil {
+	if err := run("single", "10", 1, 1, 10, "XYZ", 0, 1, 0, "", false, false); err == nil {
 		t.Error("unknown protocol should error")
 	}
 }
 
 func TestRunTable1(t *testing.T) {
-	if err := run("table1", "10", 1, 1, 10, "ST", 0, 1, 0, false, false); err != nil {
+	if err := run("table1", "10", 1, 1, 10, "ST", 0, 1, 0, "", false, false); err != nil {
 		t.Errorf("table1 failed: %v", err)
 	}
-	if err := run("table1", "10", 1, 1, 10, "ST", 0, 1, 0, true, false); err != nil {
+	if err := run("table1", "10", 1, 1, 10, "ST", 0, 1, 0, "", true, false); err != nil {
 		t.Errorf("table1 CSV failed: %v", err)
 	}
 }
 
 func TestRunSingle(t *testing.T) {
 	for _, proto := range []string{"ST", "FST", "fst", "st"} {
-		if err := run("single", "10", 1, 1, 20, proto, 60000, 1, 0, false, false); err != nil {
+		if err := run("single", "10", 1, 1, 20, proto, 60000, 1, 0, "", false, false); err != nil {
 			t.Errorf("single %s failed: %v", proto, err)
 		}
 	}
 }
 
 func TestRunFig2(t *testing.T) {
-	if err := run("fig2", "10", 1, 1, 17, "ST", 0, 1, 0, false, false); err != nil {
+	if err := run("fig2", "10", 1, 1, 17, "ST", 0, 1, 0, "", false, false); err != nil {
 		t.Errorf("fig2 failed: %v", err)
 	}
 }
@@ -68,7 +68,7 @@ func TestRunFig2(t *testing.T) {
 func TestRunSweepExperiments(t *testing.T) {
 	// Tiny sweep through each sweep-backed experiment, with plots.
 	for _, exp := range []string{"fig3", "fig4", "ops", "energy"} {
-		if err := run(exp, "15,20", 1, 1, 10, "ST", 60000, 2, 2, false, true); err != nil {
+		if err := run(exp, "15,20", 1, 1, 10, "ST", 60000, 2, 2, "", false, true); err != nil {
 			t.Errorf("%s failed: %v", exp, err)
 		}
 	}

@@ -12,6 +12,64 @@ import (
 // sharded engine. Mesh coupling keeps every decoded pulse on the PRC path,
 // the worst case for the delivery phase. Reproduce with `make bench-slot`;
 // EXPERIMENTS.md records reference numbers.
+// BenchmarkRun measures whole protocol runs — environment setup excluded,
+// everything from the first slot to convergence included — on the slot loop
+// and the event engine. This is the number the event engine exists for: the
+// slot loop pays O(MaxSlots·n) ramping whether or not anything fires, the
+// event engine O(active slots). Reproduce with `make bench-event`.
+func benchmarkRun(b *testing.B, proto Protocol, n, period int, engine string) {
+	cfg := PaperConfig(n, 7)
+	cfg.PeriodSlots = period
+	cfg.Engine = engine
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		env, err := NewEnv(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res := proto.Run(env)
+		if !res.Converged {
+			b.Fatalf("%s n=%d engine=%s did not converge", proto.Name(), n, engine)
+		}
+	}
+}
+
+func BenchmarkRunFST(b *testing.B) {
+	for _, n := range []int{200, 1000} {
+		for _, engine := range []string{EngineSlot, EngineEvent} {
+			b.Run(fmt.Sprintf("%s/n=%d", engine, n), func(b *testing.B) {
+				benchmarkRun(b, FST{}, n, 100, engine)
+			})
+		}
+	}
+}
+
+func BenchmarkRunST(b *testing.B) {
+	for _, n := range []int{200, 1000} {
+		for _, engine := range []string{EngineSlot, EngineEvent} {
+			b.Run(fmt.Sprintf("%s/n=%d", engine, n), func(b *testing.B) {
+				benchmarkRun(b, ST{}, n, 100, engine)
+			})
+		}
+	}
+}
+
+// BenchmarkRunSTSparse is the regime the event engine exists for: an LTE
+// ProSe discovery period (10.24 s ≈ 10240 slots) leaves >99% of slots with
+// no fire, no churn and no protocol timer, and the fire queue skips them
+// all. The dense benchmarks above are the honest counterweight — at
+// PeriodSlots=100 most slots are active and the heap overhead makes the
+// event engine slightly slower.
+func BenchmarkRunSTSparse(b *testing.B) {
+	for _, engine := range []string{EngineSlot, EngineEvent} {
+		b.Run(fmt.Sprintf("%s/n=200/T=10240", engine), func(b *testing.B) {
+			benchmarkRun(b, ST{}, 200, 10240, engine)
+		})
+	}
+}
+
 func BenchmarkStepSlot(b *testing.B) {
 	for _, n := range []int{200, 1000, 5000} {
 		for _, mode := range []struct {
@@ -33,10 +91,17 @@ func BenchmarkStepSlot(b *testing.B) {
 				defer eng.close()
 				couples := func(sender, receiver int) bool { return true }
 				var ops uint64
+				// Saturate the discovery tables first: the steady state
+				// measures the loop, not the one-time neighbour-map growth
+				// of the first few periods.
+				warm := 3 * cfg.PeriodSlots
+				for s := 1; s <= warm; s++ {
+					eng.stepSlot(units.Slot(s), couples, 1, &ops)
+				}
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					eng.stepSlot(units.Slot(i+1), couples, 1, &ops)
+					eng.stepSlot(units.Slot(warm+i+1), couples, 1, &ops)
 				}
 			})
 		}

@@ -51,10 +51,18 @@ func (Centralized) Run(env *Env) Result {
 	discoverySlots := units.Slot(cfg.DiscoveryPeriods * cfg.PeriodSlots)
 	slotEng := newEngine(env)
 	defer slotEng.close()
-	var slot units.Slot
-	for slot = 1; slot <= discoverySlots && slot <= cfg.MaxSlots; slot++ {
-		slotEng.stepSlot(slot, couples, 1, &res.Ops)
+	bound := discoverySlots
+	if cfg.MaxSlots < bound {
+		bound = cfg.MaxSlots
 	}
+	for cur := units.Slot(1); cur <= bound; cur = slotEng.nextStep(cur) {
+		slotEng.stepSlot(cur, couples, 1, &res.Ops)
+	}
+	// Catch lazily advanced phases up to the discovery boundary: phase 2
+	// freezes the oscillators while the uplink collection runs, exactly as
+	// the slot loop leaves them.
+	slotEng.finish(bound)
+	slot := bound + 1
 
 	// Phase 2: report collection over slotted random access, simulated on
 	// the event engine. Each UE retries in successive contention windows
@@ -128,6 +136,7 @@ func (Centralized) Run(env *Env) Result {
 		res.Energy = energy.LTEDefaults().Charge(res.Counters, cfg.N, res.ConvergenceSlots)
 		res.DiscoveredLinks = countDiscoveredLinks(env)
 		res.ServiceDiscovery = env.ServiceDiscoveryRatio()
+		res.ActiveSlots, res.TotalSlots = slotEng.slotStats()
 		return res
 	}
 
@@ -151,29 +160,37 @@ func (Centralized) Run(env *Env) Result {
 	res.TreeEdges = tree
 	res.TreeWeight = graph.TotalWeight(tree)
 
-	// Network-assisted timing: everyone adopts the BS phase reference.
+	// Network-assisted timing: everyone adopts the BS phase reference. The
+	// uplink collection advanced absolute time without stepping the
+	// oscillators, so the event engine re-pins every phase at the current
+	// slot (no ramping through the gap — the slot loop never stepped it
+	// either) and rebuilds its fire schedule from the adopted phases.
 	for _, d := range env.Devices {
 		d.Osc.Phase = 0
 	}
+	slotEng.resyncAll(slot)
 
 	// Validate synchrony with the same detector discipline as the
 	// distributed protocols: StableRounds of aligned firing.
 	need := cfg.StableRounds
 	for round := 0; round < need && slot <= cfg.MaxSlots; round++ {
-		for s := 0; s < cfg.PeriodSlots; s++ {
-			slot++
-			fired := slotEng.stepSlot(slot, couples, 1, &res.Ops)
+		roundEnd := slot + units.Slot(cfg.PeriodSlots)
+		for cur := slotEng.nextStep(slot); cur <= roundEnd; cur = slotEng.nextStep(cur) {
+			fired := slotEng.stepSlot(cur, couples, 1, &res.Ops)
 			if len(fired) == cfg.N {
 				if round == need-1 {
 					res.Converged = true
-					res.ConvergenceSlots = slot
+					res.ConvergenceSlots = cur
 				}
 			}
 		}
+		slot = roundEnd
 	}
+	slotEng.finish(slot)
 	if !res.Converged {
 		res.ConvergenceSlots = cfg.MaxSlots
 	}
+	res.ActiveSlots, res.TotalSlots = slotEng.slotStats()
 
 	res.Counters = mergeTransport(res.Counters, env.Transport.Counters())
 	res.Energy = energy.LTEDefaults().Charge(res.Counters, cfg.N, res.ConvergenceSlots)

@@ -27,6 +27,13 @@ import (
 	"repro/internal/units"
 )
 
+// Config.Engine values: the slot-stepped reference loop and the
+// event-driven engine (lazy phase advancement + next-fire scheduling).
+const (
+	EngineSlot  = "slot"
+	EngineEvent = "event"
+)
+
 // Config holds every knob of a protocol run. The zero value is not runnable;
 // start from PaperConfig.
 type Config struct {
@@ -108,6 +115,18 @@ type Config struct {
 	// internal/experiments (slot-level pays off for few large runs,
 	// run-level for many small ones).
 	Workers int
+
+	// Engine selects the run engine. "" or EngineSlot steps every slot of
+	// the run (the reference loop, optionally sharded per Workers);
+	// EngineEvent advances oscillator phases lazily and fast-forwards
+	// between scheduled fires, protocol timers and trace boundaries —
+	// O(events) instead of O(MaxSlots·n). Results are bit-identical
+	// between engines (the differential suite in eventengine_test.go pins
+	// fire sequences, counters and RNG draws), so like Workers this is a
+	// throughput knob, not a model parameter, and manifests do not carry
+	// it. The event engine is single-threaded; Workers is ignored when it
+	// is selected.
+	Engine string
 
 	// DiscoveryPeriods is how many initial periods ST spends purely on
 	// RSSI neighbour discovery before the first merge phase.
@@ -217,6 +236,8 @@ func (c Config) Validate() error {
 	case !c.Coupling.Converges():
 		return fmt.Errorf("core: coupling α=%v β=%v violates the convergence condition",
 			c.Coupling.Alpha, c.Coupling.Beta)
+	case c.Engine != "" && c.Engine != EngineSlot && c.Engine != EngineEvent:
+		return fmt.Errorf("core: unknown engine %q (want %q or %q)", c.Engine, EngineSlot, EngineEvent)
 	}
 	return nil
 }

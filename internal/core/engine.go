@@ -88,12 +88,22 @@ func (p *workerPool) run(n int, fn func(worker, lo, hi int)) {
 
 func (p *workerPool) close() { close(p.tasks) }
 
-// engine drives stepSlot for one protocol run, sequentially or sharded
-// over a worker pool per Config.Workers. Protocols build one engine per
-// run and must close it to release the pool goroutines.
+// engine drives stepSlot for one protocol run — sequentially, sharded over
+// a worker pool per Config.Workers, or event-driven per Config.Engine.
+// Protocols build one engine per run and must close it to release the pool
+// goroutines.
 type engine struct {
-	env  *Env
-	pool *workerPool
+	env     *Env
+	pool    *workerPool
+	ev      *eventEngine    // non-nil when Config.Engine selects EngineEvent
+	service func(int) int   // sender -> service tag, hoisted off the hot path
+
+	// Slot accounting for the active/total ratio the event engine reports:
+	// activeSlots counts stepSlot calls, totalSlots the span the run
+	// covered (they coincide for the slot engines).
+	activeSlots uint64
+	totalSlots  uint64
+	lastSlot    units.Slot
 
 	// Per-worker accumulators, merged in worker order at phase barriers.
 	fired   [][]int  // phase A: devices fired, per shard
@@ -126,12 +136,19 @@ func engineWorkers(cfg Config) int {
 	return w
 }
 
-// newEngine builds the slot engine for env. A pool is only spun up when the
-// configuration asks for more than one worker and the transport's channel
-// draws are order-independent (per-sender streams or a stateless link
-// sampler); otherwise the engine runs the sequential loop.
+// newEngine builds the run engine for env. Config.Engine == EngineEvent
+// selects the event-driven engine (always single-threaded). Otherwise a
+// pool is only spun up when the configuration asks for more than one worker
+// and the transport's channel draws are order-independent (per-sender
+// streams or a stateless link sampler); otherwise the engine runs the
+// sequential loop.
 func newEngine(env *Env) *engine {
 	e := &engine{env: env}
+	e.service = func(sender int) int { return int(env.Devices[sender].Service) }
+	if env.Cfg.Engine == EngineEvent {
+		e.ev = newEventEngine(e)
+		return e
+	}
 	w := engineWorkers(env.Cfg)
 	if w > 1 && env.Transport.SenderStreams == nil && env.Transport.LinkSampler == nil {
 		w = 1 // shared-stream draws are order-dependent: sequential only
@@ -154,14 +171,113 @@ func (e *engine) close() {
 }
 
 // stepSlot advances the whole network one slot, dispatching to the
-// sequential loop or the sharded phases. Both produce identical results;
-// the differential tests in parallel_test.go pin that.
+// sequential loop, the sharded phases or the event engine's catch-up step.
+// All three produce identical results; the differential tests in
+// parallel_test.go and eventengine_test.go pin that.
 func (e *engine) stepSlot(slot units.Slot, couples couplingRule, opsPerPulse uint64, ops *uint64) []int {
-	if e.pool == nil {
-		return stepSlot(e.env, slot, couples, opsPerPulse, ops)
+	e.activeSlots++
+	if slot > e.lastSlot {
+		e.totalSlots += uint64(slot - e.lastSlot)
+		e.lastSlot = slot
 	}
-	return e.stepParallel(slot, couples, opsPerPulse, ops)
+	switch {
+	case e.ev != nil:
+		return e.ev.step(slot, couples, opsPerPulse, ops)
+	case e.pool == nil:
+		return e.stepSequential(slot, couples, opsPerPulse, ops)
+	default:
+		return e.stepParallel(slot, couples, opsPerPulse, ops)
+	}
 }
+
+// slotHorizonNone is nextStep's "no event left" sentinel; it compares
+// larger than any run bound, so min-folding protocol timers over it works
+// unchanged.
+const slotHorizonNone = units.Slot(1<<63 - 1)
+
+// nextStep returns the next slot the engine must step after `after`. The
+// slot engines step every slot; the event engine returns its conservative
+// next-event horizon — the earliest scheduled oscillator fire or progress-
+// trace boundary. Protocols min-fold their own timers (RACH join rounds,
+// merge boundaries, churn) on top, so every slot in between is provably
+// inert: no device fires (the fire queue is exact), no RNG stream is
+// consumed (only non-empty fire waves draw), and no protocol or trace hook
+// runs.
+func (e *engine) nextStep(after units.Slot) units.Slot {
+	if e.ev == nil {
+		return after + 1
+	}
+	return e.ev.nextAfter(after)
+}
+
+// materialize catches device i's lazily advanced oscillator up to slot,
+// before a protocol hook reads (or overwrites) its Phase. No-op on the slot
+// engines, whose oscillators are always current.
+func (e *engine) materialize(i int, slot units.Slot) {
+	if e.ev != nil {
+		e.env.Devices[i].Osc.AdvanceTo(int64(slot))
+	}
+}
+
+// phaseWritten records that a protocol hook overwrote device i's Phase at
+// slot (sync-word adoption, the BS timing broadcast): the oscillator is
+// rebased there and its scheduled fire recomputed. No-op on the slot
+// engines, where Advance re-detects external writes every slot.
+func (e *engine) phaseWritten(i int, slot units.Slot) {
+	if e.ev == nil {
+		return
+	}
+	e.env.Devices[i].Osc.Rebase(int64(slot))
+	e.ev.reschedule(i)
+}
+
+// dropFailed prunes powered-off devices from the fire schedule after churn.
+// Stale entries would only cost empty catch-up steps (dead devices are
+// skipped on pop), but pruning keeps the event horizon tight.
+func (e *engine) dropFailed() {
+	if e.ev == nil {
+		return
+	}
+	for i, alive := range e.env.Alive {
+		if !alive {
+			e.ev.fq.Remove(i)
+		}
+	}
+}
+
+// resyncAll rebases every alive oscillator at slot and rebuilds the fire
+// schedule — for the Centralized protocol's timing broadcast, which
+// reassigns every phase after an uplink-collection gap the run never
+// stepped through.
+func (e *engine) resyncAll(slot units.Slot) {
+	if e.ev != nil {
+		e.ev.resyncAll(slot)
+	}
+}
+
+// materializeAllAt catches every alive oscillator up to slot without
+// stepping it — phase snapshots (env.Phases, post-run inspection) must see
+// the same values the slot engines leave behind.
+func (e *engine) materializeAllAt(slot units.Slot) {
+	if e.ev != nil {
+		e.ev.materializeAll(slot)
+	}
+}
+
+// finish closes the run at finalSlot: oscillators materialize and the slot
+// accounting extends to the covered span.
+func (e *engine) finish(finalSlot units.Slot) {
+	if finalSlot > e.lastSlot {
+		e.totalSlots += uint64(finalSlot - e.lastSlot)
+		e.lastSlot = finalSlot
+	}
+	e.materializeAllAt(finalSlot)
+}
+
+// slotStats reports how many slots the engine stepped (active) out of the
+// span the run covered (total). The slot engines step everything; the event
+// engine's ratio is the measured sparsity its speedup comes from.
+func (e *engine) slotStats() (active, total uint64) { return e.activeSlots, e.totalSlots }
 
 func (e *engine) stepParallel(slot units.Slot, couples couplingRule, opsPerPulse uint64, ops *uint64) []int {
 	env := e.env
@@ -187,14 +303,13 @@ func (e *engine) stepParallel(slot units.Slot, couples couplingRule, opsPerPulse
 		fired = append(fired, f...)
 	}
 
-	service := func(sender int) int { return int(env.Devices[sender].Service) }
 	wave := fired
 	waveBuf := 0
 	for len(wave) > 0 {
 		// Phase B: plan sequentially, evaluate senders in parallel
 		// (each sender's draws come from its own stream), resolve
 		// sequentially.
-		plan := env.Transport.PlanBroadcastAll(wave, rach.RACH1, rach.KindPulse, service, slot)
+		plan := env.Transport.PlanBroadcastAll(wave, rach.RACH1, rach.KindPulse, e.service, slot)
 		e.pool.run(len(wave), func(w, lo, hi int) {
 			sc := e.scratch[w]
 			for k := lo; k < hi; k++ {

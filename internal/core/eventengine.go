@@ -1,0 +1,208 @@
+package core
+
+import (
+	"repro/internal/device"
+	"repro/internal/eventsim"
+	"repro/internal/rach"
+	"repro/internal/units"
+)
+
+// The event-driven run engine. The Mirollo–Strogatz dynamics are piecewise
+// linear between pulses, so an oscillator's next firing slot is computable
+// analytically from its phase, rate and period (oscillator.NextFire) — yet
+// the slot loop still touches all n oscillators every slot just to ramp
+// them. This engine instead keeps every phase lazily materialized at the
+// slot it was last involved in and drives the run from a next-fire priority
+// queue (eventsim.FireQueue), stepping only the slots where something can
+// happen:
+//
+//   - a scheduled oscillator fire (the queue is exact, not a bound);
+//   - a protocol timer — FST join round, ST merge boundary, churn — which
+//     the protocol loops min-fold over nextAfter's horizon;
+//   - a ProgressTrace boundary (callbacks may read phase snapshots, so
+//     every oscillator materializes first).
+//
+// Slots in between are provably inert: no fire can occur before the queue's
+// head (NextFire evaluates the exact segment arithmetic Advance steps
+// with), empty slots draw nothing from any RNG stream in the slot loop
+// either (BroadcastAll only runs for non-empty waves), and no trace or
+// protocol hook falls in them. Skipping them is therefore invisible: fire
+// sequences, RNG draw order, counters and final phases are bit-identical to
+// the sequential reference, which eventengine_test.go pins differentially
+// across protocols, sizes and seeds.
+//
+// Within a stepped slot the engine replays the reference cascade exactly:
+// queue entries for the slot pop in (slot, device id) order — the order the
+// slot loop appends same-slot fires in — and coupled receivers materialize
+// via AdvanceTo before their OnPulse, which cannot itself cross a fire
+// (their scheduled fire would have been popped this slot already).
+type eventEngine struct {
+	env     *Env
+	service func(int) int
+	fq      *eventsim.FireQueue
+
+	// Reused buffers, mirroring the sequential engine's.
+	fired []int
+	waves [2][]int
+
+	// Devices whose oscillator state changed this slot (fired or coupled):
+	// their next-fire predictions are recomputed after the cascade
+	// settles. dirtySlot is a per-device stamp deduplicating marks within
+	// a slot (slots start at 1, so the zero value never collides).
+	dirty     []int
+	dirtySlot []units.Slot
+}
+
+func newEventEngine(e *engine) *eventEngine {
+	env := e.env
+	ev := &eventEngine{
+		env:       env,
+		service:   e.service,
+		fq:        eventsim.NewFireQueue(len(env.Devices)),
+		dirtySlot: make([]units.Slot, len(env.Devices)),
+	}
+	for i, d := range env.Devices {
+		if !env.Alive[i] {
+			continue
+		}
+		if at, ok := d.Osc.NextFire(); ok {
+			ev.fq.Set(i, units.Slot(at))
+		}
+	}
+	return ev
+}
+
+// nextAfter returns the engine's conservative next-event horizon after the
+// given slot: the earliest scheduled fire or progress-trace boundary, or
+// slotHorizonNone when neither remains.
+func (ev *eventEngine) nextAfter(after units.Slot) units.Slot {
+	next := slotHorizonNone
+	if _, at, ok := ev.fq.Peek(); ok {
+		next = at
+	}
+	if cfg := ev.env.Cfg; cfg.ProgressTrace != nil && cfg.ProgressEvery > 0 {
+		if t := (after/cfg.ProgressEvery + 1) * cfg.ProgressEvery; t < next {
+			next = t
+		}
+	}
+	return next
+}
+
+// step fast-forwards the network to slot and runs it: scheduled fires pop
+// from the queue in device-id order, the fire wave broadcasts and cascades
+// exactly as in the sequential loop, and every touched oscillator is
+// rescheduled. Fires scheduled before slot mean the caller skipped a
+// non-inert slot — a contract violation worth failing loud on.
+func (ev *eventEngine) step(slot units.Slot, couples couplingRule, opsPerPulse uint64, ops *uint64) []int {
+	env := ev.env
+	fired := ev.fired[:0]
+	for {
+		id, at, ok := ev.fq.Peek()
+		if !ok || at > slot {
+			break
+		}
+		if at < slot {
+			panic("core: event engine stepped past a scheduled fire")
+		}
+		ev.fq.Pop()
+		if !env.Alive[id] {
+			continue // powered off after scheduling; dropFailed missed it
+		}
+		if !env.Devices[id].Osc.AdvanceTo(int64(slot)) {
+			panic("core: scheduled fire did not happen")
+		}
+		fired = append(fired, id)
+		ev.markDirty(id, slot)
+	}
+	wave := fired
+	waveBuf := 0
+	for len(wave) > 0 {
+		buf := waveBuf
+		waveBuf ^= 1
+		next := ev.waves[buf][:0]
+		for _, del := range env.Transport.BroadcastAll(wave, rach.RACH1, rach.KindPulse, ev.service, slot) {
+			if !env.Alive[del.To] {
+				continue // powered-off receivers hear nothing
+			}
+			recv := env.Devices[del.To]
+			recv.ObservePS(del.Msg.From, del.Msg.RSSI, device.Service(del.Msg.Service))
+			*ops += opsPerPulse
+			if !couples(del.Msg.From, del.To) {
+				continue
+			}
+			recv.Osc.AdvanceTo(int64(slot))
+			ev.markDirty(del.To, slot)
+			if recv.Osc.OnPulse(int64(slot)) {
+				next = append(next, del.To)
+			}
+		}
+		ev.waves[buf] = next
+		fired = append(fired, next...)
+		wave = next
+	}
+	ev.fired = fired
+	for _, id := range ev.dirty {
+		if env.Alive[id] {
+			ev.reschedule(id)
+		}
+	}
+	ev.dirty = ev.dirty[:0]
+	if env.Cfg.FireTrace != nil {
+		for _, f := range fired {
+			env.Cfg.FireTrace(slot, f)
+		}
+	}
+	if env.Cfg.ProgressTrace != nil && env.Cfg.ProgressEvery > 0 && slot%env.Cfg.ProgressEvery == 0 {
+		ev.materializeAll(slot)
+		env.Cfg.ProgressTrace(slot)
+	}
+	return fired
+}
+
+func (ev *eventEngine) markDirty(id int, slot units.Slot) {
+	if ev.dirtySlot[id] == slot {
+		return
+	}
+	ev.dirtySlot[id] = slot
+	ev.dirty = append(ev.dirty, id)
+}
+
+// reschedule recomputes device id's queue entry from its oscillator's
+// current state; oscillators that can never fire again leave the queue.
+func (ev *eventEngine) reschedule(id int) {
+	if !ev.env.Alive[id] {
+		ev.fq.Remove(id)
+		return
+	}
+	if at, ok := ev.env.Devices[id].Osc.NextFire(); ok {
+		ev.fq.Set(id, units.Slot(at))
+	} else {
+		ev.fq.Remove(id)
+	}
+}
+
+// materializeAll catches every alive oscillator up to slot, for hooks and
+// post-run readers that snapshot phases. No scheduled fire can predate the
+// horizon being stepped, so catching up never crosses one.
+func (ev *eventEngine) materializeAll(slot units.Slot) {
+	for i, d := range ev.env.Devices {
+		if !ev.env.Alive[i] {
+			continue
+		}
+		d.Osc.AdvanceTo(int64(slot))
+	}
+}
+
+// resyncAll pins every alive oscillator's current Phase at slot (no ramping
+// through the skipped span) and rebuilds the fire schedule from scratch;
+// dead devices leave the queue.
+func (ev *eventEngine) resyncAll(slot units.Slot) {
+	for i, d := range ev.env.Devices {
+		if !ev.env.Alive[i] {
+			ev.fq.Remove(i)
+			continue
+		}
+		d.Osc.Rebase(int64(slot))
+		ev.reschedule(i)
+	}
+}

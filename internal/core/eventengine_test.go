@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rach"
+	"repro/internal/units"
+)
+
+// Differential pin for the event-driven engine: for every protocol, size and
+// seed the event engine must produce results byte-identical to the slot
+// loop — same fired sequence (slots and device order), same counters, same
+// ops, same discovery tables, and the same final oscillator phases. The
+// skipped slots are exactly the slots where nothing happens, so identity
+// here is the proof that the next-event horizon is conservative and that no
+// RNG stream is consumed at a different point.
+
+// fingerprintCfg runs proto on cfg with a FireTrace attached and returns
+// the run fingerprint plus the alive devices' final phases.
+func fingerprintCfg(t *testing.T, proto Protocol, cfg Config) (runFingerprint, []float64) {
+	t.Helper()
+	var fires []fireEvent
+	cfg.FireTrace = func(slot units.Slot, dev int) {
+		fires = append(fires, fireEvent{slot: slot, dev: dev})
+	}
+	env := mustEnv(t, cfg)
+	res := proto.Run(env)
+	phases := make([]float64, len(env.Devices))
+	for i, d := range env.Devices {
+		if env.Alive[i] {
+			phases[i] = d.Osc.Phase
+		}
+	}
+	return runFingerprint{res: res, fires: fires}, phases
+}
+
+func comparePhases(t *testing.T, label string, want, got []float64) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Errorf("%s: phase vector length differs: %d vs %d", label, len(want), len(got))
+		return
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Errorf("%s: final phase of device %d differs: slot %v vs event %v",
+				label, i, want[i], got[i])
+			return
+		}
+	}
+}
+
+func eventDiff(t *testing.T, proto Protocol, cfg Config, label string) {
+	t.Helper()
+	cfg.Engine = EngineSlot
+	slot, slotPhases := fingerprintCfg(t, proto, cfg)
+	cfg.Engine = EngineEvent
+	event, eventPhases := fingerprintCfg(t, proto, cfg)
+	compareFingerprints(t, label, slot, event)
+	comparePhases(t, label, slotPhases, eventPhases)
+	// The slot engines step every slot of the span — except the Centralized
+	// protocol, whose uplink-collection phase advances absolute time on the
+	// eventsim schedule without stepping oscillator slots in either engine.
+	if s := slot.res; s.Protocol != "BS" && s.ActiveSlots != s.TotalSlots {
+		t.Errorf("%s: slot engine skipped slots: active %d of %d", label, s.ActiveSlots, s.TotalSlots)
+	}
+	if e := event.res; e.ActiveSlots > e.TotalSlots {
+		t.Errorf("%s: event engine stepped more slots than the span: %d of %d",
+			label, e.ActiveSlots, e.TotalSlots)
+	}
+}
+
+func TestEventEngineBitIdenticalToSlot(t *testing.T) {
+	cases := []struct {
+		n        int
+		maxSlots units.Slot
+	}{
+		// n=50 runs to convergence; the larger sizes are slot-capped so the
+		// table stays affordable (identity holds slot by slot, so a
+		// truncated trajectory pins it just as hard). The n=800 Centralized
+		// case also exercises the uplink-budget early return.
+		{n: 50, maxSlots: 2000},
+		{n: 200, maxSlots: 1000},
+		{n: 800, maxSlots: 400},
+	}
+	seeds := []int64{1, 2, 3}
+	protocols := []Protocol{FST{}, ST{}, Centralized{}}
+
+	for _, c := range cases {
+		for _, seed := range seeds {
+			for _, proto := range protocols {
+				cfg := PaperConfig(c.n, seed)
+				cfg.MaxSlots = c.maxSlots
+				eventDiff(t, proto, cfg, fmt.Sprintf("%s/n=%d/seed=%d", proto.Name(), c.n, seed))
+			}
+		}
+	}
+}
+
+// The event engine must reproduce the golden constants exactly — the same
+// pin that guards the slot loop guards the fast path.
+func TestEventEngineGoldenResults(t *testing.T) {
+	golden := []struct {
+		proto Protocol
+		slots int64
+		tx1   uint64
+		tx2   uint64
+		ops   uint64
+	}{
+		{FST{}, 772, 406, 0, 195009},
+		{ST{}, 1227, 520, 438, 17808},
+		{Centralized{}, 860, 256, 2, 2006},
+	}
+	for _, g := range golden {
+		cfg := PaperConfig(40, 12345)
+		cfg.MaxSlots = 100000
+		cfg.Engine = EngineEvent
+		env := mustEnv(t, cfg)
+		res := g.proto.Run(env)
+		if !res.Converged {
+			t.Errorf("%s: golden event run did not converge", g.proto.Name())
+			continue
+		}
+		if int64(res.ConvergenceSlots) != g.slots ||
+			res.Counters.Tx[rach.RACH1] != g.tx1 ||
+			res.Counters.Tx[rach.RACH2] != g.tx2 ||
+			res.Ops != g.ops {
+			t.Errorf("%s event run drifted from golden values:\n got  slots=%d tx1=%d tx2=%d ops=%d\n want slots=%d tx1=%d tx2=%d ops=%d",
+				g.proto.Name(),
+				res.ConvergenceSlots, res.Counters.Tx[rach.RACH1], res.Counters.Tx[rach.RACH2], res.Ops,
+				g.slots, g.tx1, g.tx2, g.ops)
+		}
+	}
+}
+
+// Churn: the failure injection is a protocol timer the event engine must
+// step exactly (the slot loop fires it at the first slot >= FailAt), and
+// the pruned fire schedule must keep the survivor trajectory identical.
+func TestEventEngineChurnDifferential(t *testing.T) {
+	for _, proto := range []Protocol{FST{}, ST{}} {
+		cfg := fastConfig(40, 6)
+		cfg.FailAt = 600
+		cfg.FailSet = []int{0, 7, 35}
+		eventDiff(t, proto, cfg, fmt.Sprintf("%s/churn", proto.Name()))
+	}
+}
+
+// ProgressTrace boundaries are events: the trace must run at exactly the
+// same slots, and — because callbacks may read phases — every oscillator
+// must be materialized when it runs.
+func TestEventEngineProgressTraceDifferential(t *testing.T) {
+	type sample struct {
+		slot units.Slot
+		sum  float64
+	}
+	run := func(engine string) ([]sample, Result) {
+		cfg := PaperConfig(50, 4)
+		cfg.MaxSlots = 2000
+		cfg.Engine = engine
+		var samples []sample
+		var env *Env
+		cfg.ProgressEvery = 250
+		cfg.ProgressTrace = func(slot units.Slot) {
+			sum := 0.0
+			for i, d := range env.Devices {
+				if env.Alive[i] {
+					sum += d.Osc.Phase
+				}
+			}
+			samples = append(samples, sample{slot: slot, sum: sum})
+		}
+		env = mustEnv(t, cfg)
+		res := ST{}.Run(env)
+		return samples, res
+	}
+	slotSamples, slotRes := run(EngineSlot)
+	eventSamples, eventRes := run(EngineEvent)
+	if len(slotSamples) == 0 {
+		t.Fatal("slot run sampled nothing; the trace was never exercised")
+	}
+	if len(slotSamples) != len(eventSamples) {
+		t.Fatalf("sample counts differ: slot %d vs event %d", len(slotSamples), len(eventSamples))
+	}
+	for i := range slotSamples {
+		if slotSamples[i] != eventSamples[i] {
+			t.Fatalf("sample %d differs: slot %+v vs event %+v", i, slotSamples[i], eventSamples[i])
+		}
+	}
+	if slotRes.Ops != eventRes.Ops || slotRes.ConvergenceSlots != eventRes.ConvergenceSlots {
+		t.Errorf("traced runs diverged: slot (%d, %d) vs event (%d, %d)",
+			slotRes.Ops, slotRes.ConvergenceSlots, eventRes.Ops, eventRes.ConvergenceSlots)
+	}
+}
+
+// The listen window and jump budget gate OnPulse, not the ramp, so the
+// next-fire prediction stays exact under both; pin that differentially.
+func TestEventEngineListenWindowDifferential(t *testing.T) {
+	for _, proto := range []Protocol{FST{}, ST{}} {
+		cfg := PaperConfig(50, 8)
+		cfg.MaxSlots = 2000
+		cfg.JumpsPerCycle = 1
+		cfg.ListenPhase = 0.6
+		eventDiff(t, proto, cfg, fmt.Sprintf("%s/listen-window", proto.Name()))
+	}
+}
+
+// With the collision model disabled the transport delivers a sender-major
+// list; the event engine's cascade must still match.
+func TestEventEngineNoCaptureDifferential(t *testing.T) {
+	cfg := PaperConfig(50, 11)
+	cfg.MaxSlots = 1500
+	cfg.CaptureMarginDB = -1
+	eventDiff(t, ST{}, cfg, "ST/no-capture")
+}
+
+// The speedup claim rests on sparsity: a converging FST run at the paper's
+// density fires in only a fraction of its slots, and the event engine must
+// actually skip the rest.
+func TestEventEngineSkipsInertSlots(t *testing.T) {
+	cfg := PaperConfig(50, 7)
+	cfg.MaxSlots = 10000
+	cfg.Engine = EngineEvent
+	env := mustEnv(t, cfg)
+	res := FST{}.Run(env)
+	if res.ActiveSlots == 0 || res.TotalSlots == 0 {
+		t.Fatalf("slot accounting missing: active=%d total=%d", res.ActiveSlots, res.TotalSlots)
+	}
+	if res.ActiveSlots >= res.TotalSlots {
+		t.Errorf("event engine stepped every slot (active=%d total=%d); no sparsity exploited",
+			res.ActiveSlots, res.TotalSlots)
+	}
+}
+
+func TestEngineKnobValidated(t *testing.T) {
+	cfg := PaperConfig(10, 1)
+	cfg.Engine = "warp"
+	if err := cfg.Validate(); err == nil {
+		t.Error("Validate accepted an unknown engine")
+	}
+	for _, ok := range []string{"", EngineSlot, EngineEvent} {
+		cfg.Engine = ok
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("Validate rejected engine %q: %v", ok, err)
+		}
+	}
+}

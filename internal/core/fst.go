@@ -59,7 +59,8 @@ func (FST) Run(env *Env) Result {
 
 	eng := newEngine(env)
 	defer eng.close()
-	for slot := units.Slot(1); slot <= cfg.MaxSlots; slot++ {
+	var slot units.Slot
+	for slot = 1; slot <= cfg.MaxSlots; {
 		fired := eng.stepSlot(slot, couples, opsPerPulse, &res.Ops)
 
 		// One join attempt per RACH opportunity.
@@ -83,7 +84,10 @@ func (FST) Run(env *Env) Result {
 				joined++
 				treeEdges = append(treeEdges, graph.Edge{U: u, V: v, Weight: fstLinkWeight(env, u, v)})
 				// Sync-word adoption: the joiner aligns to the tree.
+				eng.materialize(u, slot)
+				eng.materialize(v, slot)
 				env.Devices[v].Osc.Phase = env.Devices[u].Osc.Phase
+				eng.phaseWritten(v, slot)
 			}
 		}
 
@@ -91,6 +95,7 @@ func (FST) Run(env *Env) Result {
 		if cfg.FailAt > 0 && !churned && slot >= cfg.FailAt && joined == cfg.N {
 			env.Fail()
 			churned = true
+			eng.dropFailed()
 			det = oscillator.NewSyncDetector(env.AliveCount(), cfg.SyncWindowSlots, cfg.StableRounds)
 		}
 
@@ -107,10 +112,28 @@ func (FST) Run(env *Env) Result {
 			res.ConvergenceSlots = units.Slot(at)
 			break
 		}
+
+		// Next slot to step: the engine's horizon (every slot for the slot
+		// engines; the next scheduled fire or trace boundary for the event
+		// engine) min-folded with the protocol's own timers.
+		next := eng.nextStep(slot)
+		if joined < cfg.N && nextRound < next {
+			next = nextRound
+		}
+		if cfg.FailAt > 0 && !churned && cfg.FailAt > slot && cfg.FailAt < next {
+			next = cfg.FailAt
+		}
+		slot = next
 	}
+	finalSlot := cfg.MaxSlots
+	if res.Converged {
+		finalSlot = slot
+	}
+	eng.finish(finalSlot)
 	if !res.Converged {
 		res.ConvergenceSlots = cfg.MaxSlots
 	}
+	res.ActiveSlots, res.TotalSlots = eng.slotStats()
 
 	tc := env.Transport.Counters()
 	res.Counters.Tx[rach.RACH1] += tc.Tx[rach.RACH1]

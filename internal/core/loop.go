@@ -10,20 +10,24 @@ import (
 // sender. FST couples on everything heard; ST couples along tree edges.
 type couplingRule func(sender, receiver int) bool
 
-// stepSlot advances the whole network one slot: every oscillator ramps, the
-// devices that fire broadcast a PS on RACH1 in the same slot, and the
-// transport resolves same-slot same-codec collisions with the capture model
-// before delivering. Receivers record decoded PSs for discovery and — when
-// the coupling rule admits the sender — apply the PRC. Pulse-triggered
+// stepSequential advances the whole network one slot: every oscillator
+// ramps, the devices that fire broadcast a PS on RACH1 in the same slot, and
+// the transport resolves same-slot same-codec collisions with the capture
+// model before delivering. Receivers record decoded PSs for discovery and —
+// when the coupling rule admits the sender — apply the PRC. Pulse-triggered
 // fires (absorption) transmit in a follow-up wave within the same slot; the
 // per-oscillator refractory window bounds every device to one fire per
 // slot, so the cascade terminates.
 //
 // opsPerPulse is charged once per delivered pulse and models the brightness
 // ranking work of Algorithm 3 (O(n) for the basic scan, O(log n) for the
-// ordered structure). The returned slice lists the devices that fired.
-func stepSlot(env *Env, slot units.Slot, couples couplingRule, opsPerPulse uint64, ops *uint64) []int {
-	var fired []int
+// ordered structure). The returned slice lists the devices that fired; it is
+// engine-owned and valid until the next step — the fired list and the
+// cascade's ping-pong wave buffers are reused across slots, so the
+// steady-state loop allocates nothing.
+func (e *engine) stepSequential(slot units.Slot, couples couplingRule, opsPerPulse uint64, ops *uint64) []int {
+	env := e.env
+	fired := e.firedAll[:0]
 	for i, d := range env.Devices {
 		if !env.Alive[i] {
 			continue
@@ -32,11 +36,13 @@ func stepSlot(env *Env, slot units.Slot, couples couplingRule, opsPerPulse uint6
 			fired = append(fired, i)
 		}
 	}
-	service := func(sender int) int { return int(env.Devices[sender].Service) }
 	wave := fired
+	waveBuf := 0
 	for len(wave) > 0 {
-		var next []int
-		for _, del := range env.Transport.BroadcastAll(wave, rach.RACH1, rach.KindPulse, service, slot) {
+		buf := waveBuf
+		waveBuf ^= 1
+		next := e.waves[buf][:0]
+		for _, del := range env.Transport.BroadcastAll(wave, rach.RACH1, rach.KindPulse, e.service, slot) {
 			if !env.Alive[del.To] {
 				continue // powered-off receivers hear nothing
 			}
@@ -50,9 +56,11 @@ func stepSlot(env *Env, slot units.Slot, couples couplingRule, opsPerPulse uint6
 				next = append(next, del.To)
 			}
 		}
+		e.waves[buf] = next
 		fired = append(fired, next...)
 		wave = next
 	}
+	e.firedAll = fired
 	if env.Cfg.FireTrace != nil {
 		for _, f := range fired {
 			env.Cfg.FireTrace(slot, f)

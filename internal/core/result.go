@@ -43,6 +43,16 @@ type Result struct {
 	// DiscoveredLinks counts directed neighbour-table entries accumulated
 	// during the run (physical-level discovery coverage).
 	DiscoveredLinks int
+	// ActiveSlots counts the slots the run engine actually stepped, out of
+	// the TotalSlots span the run covered. The slot engines step everything
+	// (ActiveSlots == TotalSlots); the event engine steps only slots where
+	// a fire, protocol timer or trace boundary lands, and the ratio is the
+	// measured sparsity its speedup comes from. Engine-dependent
+	// observability, not a model output — differential fingerprints must
+	// not compare it.
+	ActiveSlots uint64
+	// TotalSlots is the slot span the run covered (see ActiveSlots).
+	TotalSlots uint64
 	// ServiceDiscovery is the fraction of reachable same-service pairs
 	// that found each other (application-level discovery).
 	ServiceDiscovery float64

@@ -80,7 +80,9 @@ func (ST) Run(env *Env) Result {
 
 	eng := newEngine(env)
 	defer eng.close()
-	for slot := units.Slot(1); slot <= cfg.MaxSlots; slot++ {
+	finalSlot := cfg.MaxSlots
+	var slot units.Slot
+	for slot = 1; slot <= cfg.MaxSlots; {
 		fired := eng.stepSlot(slot, couples, opsPerPulse, &res.Ops)
 
 		// Merge phases run at period boundaries once discovery is done.
@@ -97,10 +99,16 @@ func (ST) Run(env *Env) Result {
 					// exchange; the decision flood (already charged)
 					// carries the adjustment down the subtree. Tree
 					// coupling then keeps the merged fragment locked.
+					// The closure reads the loop's slot variable: it
+					// only fires inside tree.Step() below, where slot
+					// is the merge boundary being executed.
 					OnMerge: func(edge graph.Edge, winnerBoundary int, adopting []int) {
+						eng.materialize(winnerBoundary, slot)
 						ref := env.Devices[winnerBoundary].Osc.Phase
 						for _, m := range adopting {
+							eng.materialize(m, slot)
 							env.Devices[m].Osc.Phase = ref
+							eng.phaseWritten(m, slot)
 						}
 					},
 				})
@@ -112,6 +120,7 @@ func (ST) Run(env *Env) Result {
 				// The discovered graph is disconnected: network-wide
 				// synchrony is impossible; report non-convergence
 				// instead of burning the slot budget.
+				finalSlot = slot
 				break
 			}
 		}
@@ -122,6 +131,7 @@ func (ST) Run(env *Env) Result {
 		if cfg.FailAt > 0 && !churned && slot >= cfg.FailAt && tree != nil && tree.Done() {
 			env.Fail()
 			churned = true
+			eng.dropFailed()
 			det = oscillator.NewSyncDetector(env.AliveCount(), cfg.SyncWindowSlots, cfg.StableRounds)
 		}
 
@@ -137,12 +147,26 @@ func (ST) Run(env *Env) Result {
 		if res.Converged {
 			_, at := det.Synced()
 			res.ConvergenceSlots = units.Slot(at)
+			finalSlot = slot
 			break
 		}
+
+		// Next slot to step: the engine's horizon min-folded with the
+		// protocol's merge cadence and churn timer.
+		next := eng.nextStep(slot)
+		if (tree == nil || !tree.Done()) && nextMerge < next {
+			next = nextMerge
+		}
+		if cfg.FailAt > 0 && !churned && cfg.FailAt > slot && cfg.FailAt < next {
+			next = cfg.FailAt
+		}
+		slot = next
 	}
+	eng.finish(finalSlot)
 	if !res.Converged {
 		res.ConvergenceSlots = cfg.MaxSlots
 	}
+	res.ActiveSlots, res.TotalSlots = eng.slotStats()
 
 	// RACH1 traffic came through the transport; RACH2 was charged by the
 	// merge hook.

@@ -1,0 +1,145 @@
+package eventsim
+
+import "repro/internal/units"
+
+// FireQueue is an indexed binary min-heap of per-device next-fire slots,
+// the schedule behind the core package's event-driven run engine. It is
+// keyed lexicographically on (slot, device id): ties pop in device-id
+// order, which is exactly the order the slot-stepped loop appends same-slot
+// fires in — so draining a slot reproduces the reference fired list bit for
+// bit. Set updates a device's entry in place (decrease- and increase-key),
+// which keeps the queue at one entry per device.
+//
+// The zero value is not usable; call NewFireQueue.
+type FireQueue struct {
+	at   []units.Slot // per-device scheduled slot, valid while pos[id] >= 0
+	pos  []int        // device id -> heap index, -1 when absent
+	heap []int        // device ids ordered by (at, id)
+}
+
+// NewFireQueue returns an empty queue sized for device ids in [0, n).
+func NewFireQueue(n int) *FireQueue {
+	q := &FireQueue{
+		at:   make([]units.Slot, n),
+		pos:  make([]int, n),
+		heap: make([]int, 0, n),
+	}
+	for i := range q.pos {
+		q.pos[i] = -1
+	}
+	return q
+}
+
+// Len returns the number of scheduled devices.
+func (q *FireQueue) Len() int { return len(q.heap) }
+
+// Peek returns the earliest (slot, id) entry without removing it.
+func (q *FireQueue) Peek() (id int, at units.Slot, ok bool) {
+	if len(q.heap) == 0 {
+		return 0, 0, false
+	}
+	id = q.heap[0]
+	return id, q.at[id], true
+}
+
+// Pop removes and returns the earliest (slot, id) entry.
+func (q *FireQueue) Pop() (id int, at units.Slot, ok bool) {
+	if len(q.heap) == 0 {
+		return 0, 0, false
+	}
+	id = q.heap[0]
+	at = q.at[id]
+	q.pos[id] = -1
+	last := len(q.heap) - 1
+	if last > 0 {
+		moved := q.heap[last]
+		q.heap[0] = moved
+		q.pos[moved] = 0
+	}
+	q.heap = q.heap[:last]
+	if last > 0 {
+		q.siftDown(0)
+	}
+	return id, at, true
+}
+
+// Set schedules (or reschedules) device id to fire at the given slot.
+func (q *FireQueue) Set(id int, at units.Slot) {
+	if i := q.pos[id]; i >= 0 {
+		old := q.at[id]
+		q.at[id] = at
+		switch {
+		case at < old:
+			q.siftUp(i)
+		case at > old:
+			q.siftDown(i)
+		}
+		return
+	}
+	q.at[id] = at
+	q.pos[id] = len(q.heap)
+	q.heap = append(q.heap, id)
+	q.siftUp(len(q.heap) - 1)
+}
+
+// Remove deschedules device id; absent ids are a no-op.
+func (q *FireQueue) Remove(id int) {
+	i := q.pos[id]
+	if i < 0 {
+		return
+	}
+	q.pos[id] = -1
+	last := len(q.heap) - 1
+	if i == last {
+		q.heap = q.heap[:last]
+		return
+	}
+	moved := q.heap[last]
+	q.heap[i] = moved
+	q.pos[moved] = i
+	q.heap = q.heap[:last]
+	q.siftUp(i)
+	q.siftDown(i)
+}
+
+// less orders heap entries by (slot, device id).
+func (q *FireQueue) less(a, b int) bool {
+	if q.at[a] != q.at[b] {
+		return q.at[a] < q.at[b]
+	}
+	return a < b
+}
+
+func (q *FireQueue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(q.heap[i], q.heap[parent]) {
+			return
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *FireQueue) siftDown(i int) {
+	for {
+		best := i
+		if l := 2*i + 1; l < len(q.heap) && q.less(q.heap[l], q.heap[best]) {
+			best = l
+		}
+		if r := 2*i + 2; r < len(q.heap) && q.less(q.heap[r], q.heap[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		q.swap(i, best)
+		i = best
+	}
+}
+
+func (q *FireQueue) swap(i, j int) {
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.pos[q.heap[i]] = i
+	q.pos[q.heap[j]] = j
+}

@@ -1,0 +1,120 @@
+package eventsim
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/units"
+	"repro/internal/xrand"
+)
+
+func TestFireQueueOrdersBySlotThenID(t *testing.T) {
+	q := NewFireQueue(5)
+	q.Set(3, 10)
+	q.Set(1, 10)
+	q.Set(4, 5)
+	q.Set(0, 10)
+	q.Set(2, 20)
+	want := []struct {
+		id int
+		at units.Slot
+	}{{4, 5}, {0, 10}, {1, 10}, {3, 10}, {2, 20}}
+	for _, w := range want {
+		id, at, ok := q.Pop()
+		if !ok || id != w.id || at != w.at {
+			t.Fatalf("Pop = (%d, %d, %v), want (%d, %d)", id, at, ok, w.id, w.at)
+		}
+	}
+	if _, _, ok := q.Pop(); ok {
+		t.Error("Pop on empty queue reported ok")
+	}
+}
+
+func TestFireQueueSetReschedulesInPlace(t *testing.T) {
+	q := NewFireQueue(3)
+	q.Set(0, 100)
+	q.Set(1, 50)
+	q.Set(2, 75)
+	q.Set(0, 10) // decrease-key to the front
+	q.Set(1, 90) // increase-key behind 2
+	if id, at, _ := q.Peek(); id != 0 || at != 10 {
+		t.Fatalf("Peek = (%d, %d), want (0, 10)", id, at)
+	}
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (Set must not duplicate)", q.Len())
+	}
+	order := []int{}
+	for {
+		id, _, ok := q.Pop()
+		if !ok {
+			break
+		}
+		order = append(order, id)
+	}
+	if len(order) != 3 || order[0] != 0 || order[1] != 2 || order[2] != 1 {
+		t.Fatalf("pop order = %v, want [0 2 1]", order)
+	}
+}
+
+func TestFireQueueRemove(t *testing.T) {
+	q := NewFireQueue(4)
+	for i := 0; i < 4; i++ {
+		q.Set(i, units.Slot(10-i))
+	}
+	q.Remove(3) // current minimum
+	q.Remove(3) // double remove is a no-op
+	q.Remove(0) // interior entry
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+	if id, at, _ := q.Pop(); id != 2 || at != 8 {
+		t.Fatalf("Pop = (%d, %d), want (2, 8)", id, at)
+	}
+	if id, at, _ := q.Pop(); id != 1 || at != 9 {
+		t.Fatalf("Pop = (%d, %d), want (1, 9)", id, at)
+	}
+}
+
+// Randomized differential pin against a sort-based model: any mix of Set,
+// reschedule and Remove must drain in exact (slot, id) order.
+func TestFireQueueMatchesSortModel(t *testing.T) {
+	src := xrand.NewStream(42)
+	const n = 64
+	q := NewFireQueue(n)
+	model := map[int]units.Slot{}
+	for op := 0; op < 2000; op++ {
+		id := src.Intn(n)
+		switch src.Intn(3) {
+		case 0, 1:
+			at := units.Slot(src.Intn(500))
+			q.Set(id, at)
+			model[id] = at
+		case 2:
+			q.Remove(id)
+			delete(model, id)
+		}
+	}
+	if q.Len() != len(model) {
+		t.Fatalf("Len = %d, model has %d", q.Len(), len(model))
+	}
+	type entry struct {
+		id int
+		at units.Slot
+	}
+	want := make([]entry, 0, len(model))
+	for id, at := range model {
+		want = append(want, entry{id, at})
+	}
+	sort.Slice(want, func(i, j int) bool {
+		if want[i].at != want[j].at {
+			return want[i].at < want[j].at
+		}
+		return want[i].id < want[j].id
+	})
+	for i, w := range want {
+		id, at, ok := q.Pop()
+		if !ok || id != w.id || at != w.at {
+			t.Fatalf("drain %d: Pop = (%d, %d, %v), want (%d, %d)", i, id, at, ok, w.id, w.at)
+		}
+	}
+}

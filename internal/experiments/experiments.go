@@ -38,6 +38,11 @@ type Options struct {
 	// slot-level pays off for few large runs, run-level for many small
 	// ones. Results are bit-identical for every setting.
 	SlotWorkers int
+	// Engine selects each run's stepping strategy
+	// (core.Config.Engine): "" or core.EngineSlot steps every slot,
+	// core.EngineEvent skips provably inert slots via next-fire
+	// scheduling. Results are bit-identical for either.
+	Engine string
 	// Configure, when non-nil, post-processes each run's Config (used by
 	// the ablations).
 	Configure func(*core.Config)
@@ -114,6 +119,7 @@ func RunSweep(opts Options) ([]Row, error) {
 			for j := range jobCh {
 				cfg := core.PaperConfig(j.n, j.seed)
 				cfg.Workers = opts.SlotWorkers
+				cfg.Engine = opts.Engine
 				if opts.MaxSlots > 0 {
 					cfg.MaxSlots = opts.MaxSlots
 				}

@@ -113,7 +113,26 @@ type Oscillator struct {
 	refractUntil int64 // absolute slot until which pulses are ignored
 	jumpsUsed    int   // PRC jumps consumed since the last own fire
 	queued       []queuedJump
+
+	// Lazy segment state. Between discontinuities (fires, PRC jumps,
+	// matured reachback corrections, external Phase writes, step-size
+	// changes) the ramp is linear, so the phase after k uninterrupted
+	// steps is the closed form fl(segBase + fl(k·segStep)) — one rounding
+	// for the product, one for the sum, independent of how the k steps
+	// are grouped. Advance, AdvanceTo and NextFire all evaluate exactly
+	// this expression, which is what makes slot-by-slot stepping and
+	// event-driven fast-forwarding bit-identical.
+	segBase  float64 // phase at the segment origin
+	segSteps int64   // ramp steps taken since the segment origin
+	segStep  float64 // per-slot increment the segment was built with
+	lastMat  float64 // Phase as last materialized (detects external writes)
+	lastSlot int64   // slot of the last Advance/AdvanceTo step
 }
+
+// fireEpsilon is the tolerance of the firing comparison: a phase within
+// 1e-12 of Threshold counts as having reached it, absorbing the rounding of
+// the ramp arithmetic (e.g. 100 × 0.01 accumulating to 1.0000000000000002).
+const fireEpsilon = 1e-12
 
 // queuedJump is a matured-delivery PRC adjustment (reachback mode).
 type queuedJump struct {
@@ -127,7 +146,9 @@ func New(phase float64, periodSlots int, c Coupling) *Oscillator {
 	if periodSlots <= 0 {
 		panic("oscillator: period must be positive")
 	}
-	return &Oscillator{Phase: clampPhase(phase), PeriodSlots: periodSlots, Coupling: c, Refractory: 1}
+	p := clampPhase(phase)
+	return &Oscillator{Phase: p, PeriodSlots: periodSlots, Coupling: c, Refractory: 1,
+		segBase: p, lastMat: p}
 }
 
 func clampPhase(p float64) float64 {
@@ -140,38 +161,271 @@ func clampPhase(p float64) float64 {
 	return p
 }
 
-// Advance moves the oscillator forward one slot (eq. (3)) and reports
-// whether it fires in this slot. After a fire the phase is reset to zero
-// (eq. (4), first case).
-func (o *Oscillator) Advance(nowSlot int64) (fired bool) {
+// stepSize is the per-slot phase increment (eq. (3)), scaled by Rate.
+func (o *Oscillator) stepSize() float64 {
 	rate := o.Rate
 	if rate == 0 {
 		rate = 1
 	}
+	return rate * Threshold / float64(o.PeriodSlots)
+}
+
+// segPhase materializes the phase after k ramp steps from base. The
+// intermediate assignment forces the product to round before the sum (no
+// fused multiply-add), so every caller — Advance, AdvanceTo, NextFire —
+// evaluates the identical float64 sequence.
+func segPhase(base float64, k int64, step float64) float64 {
+	ramp := float64(k) * step
+	return base + ramp
+}
+
+// resegment starts a new linear segment at the current Phase if the phase
+// was written externally (sync-word adoption, the BS timing broadcast,
+// tests poking Phase) or the step size changed (Rate/PeriodSlots edits),
+// and returns the step to ramp with.
+func (o *Oscillator) resegment() float64 {
+	step := o.stepSize()
+	if o.Phase != o.lastMat || step != o.segStep {
+		o.segBase = o.Phase
+		o.segSteps = 0
+		o.segStep = step
+		o.lastMat = o.Phase
+	}
+	return step
+}
+
+// rebaseHere restarts the segment at the current Phase (after a PRC jump or
+// a matured reachback correction).
+func (o *Oscillator) rebaseHere() {
+	o.segBase = o.Phase
+	o.segSteps = 0
+	o.lastMat = o.Phase
+}
+
+// fireReset is the threshold crossing: phase to zero, refractory window
+// opens, jump budget refills. Queued corrections survive the reset: a jump
+// earned just before firing still advances the next cycle, which is how a
+// laggard finishes closing the last few slots.
+func (o *Oscillator) fireReset(nowSlot int64) {
+	o.Phase = 0
+	o.segBase = 0
+	o.segSteps = 0
+	o.lastMat = 0
+	o.refractUntil = nowSlot + int64(o.Refractory)
+	o.jumpsUsed = 0
+}
+
+// applyMatured folds queued reachback jumps whose delay has elapsed into the
+// phase (in queue order) and restarts the segment at the corrected value.
+func (o *Oscillator) applyMatured(nowSlot int64) {
+	kept := o.queued[:0]
+	applied := false
+	for _, q := range o.queued {
+		if q.applyAt <= nowSlot {
+			o.Phase += q.delta
+			applied = true
+		} else {
+			kept = append(kept, q)
+		}
+	}
+	o.queued = kept
+	if applied {
+		o.rebaseHere()
+	}
+}
+
+// Advance moves the oscillator forward one slot (eq. (3)) and reports
+// whether it fires in this slot. After a fire the phase is reset to zero
+// (eq. (4), first case).
+func (o *Oscillator) Advance(nowSlot int64) (fired bool) {
+	step := o.resegment()
 	// Apply matured reachback jumps first.
 	if len(o.queued) > 0 {
-		kept := o.queued[:0]
+		o.applyMatured(nowSlot)
+	}
+	o.segSteps++
+	o.Phase = segPhase(o.segBase, o.segSteps, step)
+	o.lastSlot = nowSlot
+	if o.Phase >= Threshold-fireEpsilon {
+		o.fireReset(nowSlot)
+		return true
+	}
+	o.lastMat = o.Phase
+	return false
+}
+
+// AdvanceTo advances the oscillator through every slot in (lastSlot,
+// target], exactly as if Advance had been called once per slot, and reports
+// whether it fires at target. Slots at or before the last step are a no-op.
+//
+// The caller must not let AdvanceTo skip over a fire: the event engine
+// consults NextFire and steps to each firing slot explicitly, so a
+// threshold crossing strictly before target means the fire schedule is
+// stale — a contract violation worth failing loud on, because silently
+// swallowing the fire would desynchronize the run from the slot engine.
+func (o *Oscillator) AdvanceTo(target int64) (fired bool) {
+	if target <= o.lastSlot {
+		return false
+	}
+	step := o.resegment()
+	for o.lastSlot < target {
+		// Next queued-jump maturity in range, if any. Matured jumps apply
+		// at the top of their slot, before that slot's ramp, so they split
+		// the linear segment.
+		m, hasM := int64(0), false
 		for _, q := range o.queued {
-			if q.applyAt <= nowSlot {
-				o.Phase += q.delta
+			if q.applyAt <= target && (!hasM || q.applyAt < m) {
+				m, hasM = q.applyAt, true
+			}
+		}
+		pureEnd := target
+		if hasM {
+			pureEnd = m - 1
+		}
+		if pureEnd > o.lastSlot {
+			if d, fires := o.fireStep(step, pureEnd-o.lastSlot); fires {
+				at := o.lastSlot + d
+				if at != target {
+					panic("oscillator: AdvanceTo skipped a fire; step to NextFire first")
+				}
+				o.segSteps += d
+				o.lastSlot = at
+				o.fireReset(at)
+				return true
+			}
+			o.segSteps += pureEnd - o.lastSlot
+			o.Phase = segPhase(o.segBase, o.segSteps, step)
+			o.lastMat = o.Phase
+			o.lastSlot = pureEnd
+		}
+		if hasM {
+			// Slot m itself: corrections first, then one ramp step —
+			// the exact order Advance uses.
+			o.applyMatured(m)
+			o.segSteps++
+			o.Phase = segPhase(o.segBase, o.segSteps, step)
+			o.lastSlot = m
+			if o.Phase >= Threshold-fireEpsilon {
+				if m != target {
+					panic("oscillator: AdvanceTo skipped a fire; step to NextFire first")
+				}
+				o.fireReset(m)
+				return true
+			}
+			o.lastMat = o.Phase
+		}
+	}
+	return false
+}
+
+// fireStep returns the smallest d ∈ [1, span] whose materialized phase on
+// the current segment meets the firing threshold, or ok=false if the ramp
+// stays below it for the whole span. The analytic guess ⌈(θth−base)/step⌉
+// lands within an ulp or two of the answer; the monotone adjustment loops
+// settle it using the exact comparison Advance evaluates.
+func (o *Oscillator) fireStep(step float64, span int64) (d int64, ok bool) {
+	if step <= 0 {
+		return 0, false
+	}
+	fireAt := Threshold - fireEpsilon
+	lo, hi := o.segSteps+1, o.segSteps+span
+	guess := lo
+	if r := (fireAt - o.segBase) / step; r > float64(hi) {
+		guess = hi + 1
+	} else if r > float64(lo) {
+		guess = int64(math.Ceil(r))
+	}
+	for guess > lo && segPhase(o.segBase, guess-1, step) >= fireAt {
+		guess--
+	}
+	for guess <= hi && segPhase(o.segBase, guess, step) < fireAt {
+		guess++
+	}
+	if guess > hi {
+		return 0, false
+	}
+	return guess - o.segSteps, true
+}
+
+// NextFire predicts the absolute slot of the oscillator's next fire under
+// free running — no further pulses, queued reachback corrections maturing
+// on schedule — or ok=false if it never reaches the threshold (non-positive
+// effective step, or a horizon beyond any representable run). It evaluates
+// the same segment expression Advance does, so the prediction is exact: the
+// event engine schedules it, fast-forwards, and the fire happens on that
+// slot, bit for bit.
+func (o *Oscillator) NextFire() (slot int64, ok bool) {
+	step := o.resegment()
+	base, k, last := o.segBase, o.segSteps, o.lastSlot
+	phase := o.Phase
+	var pending []queuedJump
+	if len(o.queued) > 0 {
+		pending = append(pending, o.queued...)
+	}
+	fireAt := Threshold - fireEpsilon
+	for {
+		m, hasM := int64(0), false
+		for _, q := range pending {
+			if !hasM || q.applyAt < m {
+				m, hasM = q.applyAt, true
+			}
+		}
+		if r := (fireAt - base) / step; step > 0 && r <= 1e15 {
+			// Fire on the pure ramp strictly before the next maturity?
+			lo := k + 1
+			guess := lo
+			if r > float64(lo) {
+				guess = int64(math.Ceil(r))
+			}
+			for guess > lo && segPhase(base, guess-1, step) >= fireAt {
+				guess--
+			}
+			for segPhase(base, guess, step) < fireAt {
+				guess++
+			}
+			if at := last + (guess - k); !hasM || at < m {
+				return at, true
+			}
+		}
+		if !hasM {
+			// Non-positive step, or a horizon beyond any representable
+			// run, with no queued correction left to change that.
+			return 0, false
+		}
+		// Ramp to the end of slot m−1, apply the matured corrections in
+		// queue order (what applyMatured does at the top of slot m), and
+		// restart the segment there.
+		phase = segPhase(base, k+(m-1-last), step)
+		var kept []queuedJump
+		for _, q := range pending {
+			if q.applyAt <= m {
+				phase += q.delta
 			} else {
 				kept = append(kept, q)
 			}
 		}
-		o.queued = kept
+		pending = kept
+		base, k, last = phase, 0, m-1
 	}
-	o.Phase += rate * Threshold / float64(o.PeriodSlots)
-	if o.Phase >= Threshold-1e-12 {
-		o.Phase = 0
-		o.refractUntil = nowSlot + int64(o.Refractory)
-		o.jumpsUsed = 0
-		// Queued corrections survive the reset: a jump earned just
-		// before firing still advances the next cycle, which is how a
-		// laggard finishes closing the last few slots.
-		return true
-	}
-	return false
 }
+
+// Rebase pins an externally assigned Phase as the oscillator's state at the
+// end of slot nowSlot without ramping through the slots in between. The
+// event engine's protocol hooks call it after overwriting Phase (sync-word
+// adoption, the BS timing broadcast) on a lazily advanced oscillator; the
+// slot engine never needs it because Advance re-detects external writes
+// every slot.
+func (o *Oscillator) Rebase(nowSlot int64) {
+	o.segBase = o.Phase
+	o.segSteps = 0
+	o.segStep = o.stepSize()
+	o.lastMat = o.Phase
+	o.lastSlot = nowSlot
+}
+
+// LastSlot returns the slot of the oscillator's most recent Advance,
+// AdvanceTo or Rebase — how far its lazily materialized state has caught up.
+func (o *Oscillator) LastSlot() int64 { return o.lastSlot }
 
 // OnPulse applies the coupling jump for one received pulse (eq. (4), second
 // case). If the jump pushes the phase to the threshold the oscillator fires
@@ -202,25 +456,24 @@ func (o *Oscillator) OnPulse(nowSlot int64) (fired bool) {
 		return false
 	}
 	o.Phase = o.Coupling.Jump(o.Phase)
-	if o.Phase >= Threshold-1e-12 {
-		o.Phase = 0
-		o.refractUntil = nowSlot + int64(o.Refractory)
-		o.jumpsUsed = 0
+	if o.Phase >= Threshold-fireEpsilon {
+		o.fireReset(nowSlot)
 		return true
 	}
+	o.rebaseHere()
 	return false
 }
 
 // SlotsToFire returns how many Advance calls remain until the oscillator
-// fires from its current phase, assuming no further pulses.
+// fires from its current phase, assuming no further pulses. It is exact —
+// the prediction comes from the same segment arithmetic Advance steps with.
+// A non-positive effective ramp never fires; that reports math.MaxInt.
 func (o *Oscillator) SlotsToFire() int {
-	remaining := Threshold - o.Phase
-	step := Threshold / float64(o.PeriodSlots)
-	n := int(math.Ceil(remaining/step - 1e-12))
-	if n < 1 {
-		n = 1
+	at, ok := o.NextFire()
+	if !ok {
+		return math.MaxInt
 	}
-	return n
+	return int(at - o.lastSlot)
 }
 
 // OrderParameter returns the Kuramoto order parameter r ∈ [0,1] of a set of
