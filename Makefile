@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-core ci bench bench-slot bench-link bench-event bench-record bench-compare sweep examples fuzz clean
+.PHONY: all build test vet race race-core ci bench bench-slot bench-link bench-event bench-record bench-compare bench-telemetry sweep examples fuzz clean
 
 all: build vet test
 
@@ -40,6 +40,13 @@ bench-link:
 	$(GO) test -run '^$$' -bench 'BenchmarkStepSlot|BenchmarkBroadcastCached|BenchmarkBroadcastDirect' -benchmem ./internal/core/ ./internal/rach/ \
 		| $(GO) run ./cmd/benchjson -o BENCH_slot.json
 	@cat BENCH_slot.json
+
+# Telemetry overhead: the disabled baseline (BenchmarkStepSlot, nil *Run
+# — must stay allocation-free in steady state, also pinned by
+# TestStepSlotDisabledTelemetryAllocs) next to the enabled paths
+# (counters-only and sample-every=100). See DESIGN.md §7.
+bench-telemetry:
+	$(GO) test -run '^$$' -bench 'BenchmarkStepSlot$$|BenchmarkStepSlotTelemetry' -benchmem ./internal/core/
 
 # Whole-run slot vs. event engine: the dense paper configs (where the two
 # are near-identical) and the sparse ProSe-period config (where the event

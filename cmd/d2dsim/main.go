@@ -13,9 +13,12 @@
 //	d2dsim -exp single -proto ST -n 200 -seed 7
 //	d2dsim -exp single -proto FST -n 200 -engine event
 //	d2dsim -exp single -proto ST -n 1000 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	d2dsim -exp single -proto ST -n 200 -report run.json
+//	d2dsim -exp fig3 -telemetry-addr :8080
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +31,8 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/manifest"
 	"repro/internal/metrics"
+	"repro/internal/rach"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -49,8 +54,22 @@ func main() {
 		savePath    = flag.String("saveconfig", "", "write the default manifest for -n/-seed to this path and exit")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile  = flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
+		reportPath  = flag.String("report", "", "write a machine-readable telemetry report (JSON: config digest, result, probe series) of a single/-config run to this file")
+		telAddr     = flag.String("telemetry-addr", "", "serve live metrics on this address (/metrics Prometheus text, /debug/vars expvar, /debug/pprof/)")
 	)
 	flag.Parse()
+
+	var vars *telemetry.Vars
+	if *telAddr != "" {
+		vars = &telemetry.Vars{}
+		srv, bound, err := telemetry.Serve(*telAddr, vars)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "d2dsim:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: serving /metrics, /debug/vars, /debug/pprof/ on http://%s\n", bound)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -89,24 +108,52 @@ func main() {
 		return
 	}
 	if *cfgPath != "" {
-		if err := runFromManifest(*cfgPath, *proto, *slotWorkers, *engine); err != nil {
+		if err := runFromManifest(*cfgPath, *proto, *slotWorkers, *engine, *reportPath, vars); err != nil {
 			fmt.Fprintln(os.Stderr, "d2dsim:", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	if err := run(*exp, *sizesStr, *seeds, *baseSeed, *n, *proto, *maxSlots, *workers, *slotWorkers, *engine, *csv, *plot); err != nil {
+	opts := runOpts{
+		exp: *exp, sizes: *sizesStr, seeds: *seeds, baseSeed: *baseSeed,
+		n: *n, proto: *proto, maxSlots: *maxSlots,
+		workers: *workers, slotWorkers: *slotWorkers, engine: *engine,
+		csv: *csv, plot: *plot, report: *reportPath, vars: vars,
+	}
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "d2dsim:", err)
 		os.Exit(1)
 	}
+}
+
+// runOpts collects the command's knobs: which experiment, sweep shape,
+// throughput settings, output format, and the observability sinks.
+type runOpts struct {
+	exp      string // experiment name
+	sizes    string // comma-separated sweep sizes
+	seeds    int    // repetitions per sweep point
+	baseSeed int64
+	n        int    // device count for single-size experiments
+	proto    string // protocol for -exp single
+	maxSlots int64  // per-run slot cap override (0 = default)
+	workers  int    // sweep worker pool size
+	// slotWorkers and engine are per-run throughput knobs; results are
+	// bit-identical for every setting.
+	slotWorkers int
+	engine      string
+	csv, plot   bool
+	// report, when set, writes the single run's telemetry report there.
+	report string
+	// vars, when non-nil, receives live metric updates for -telemetry-addr.
+	vars *telemetry.Vars
 }
 
 // runFromManifest executes one protocol run pinned by a JSON manifest.
 // Workers and Engine are throughput knobs, not model parameters, so they are
 // not part of the manifest; the flags apply on top and cannot change the
 // result.
-func runFromManifest(path, proto string, slotWorkers int, engine string) error {
+func runFromManifest(path, proto string, slotWorkers int, engine string, report string, vars *telemetry.Vars) error {
 	m, err := manifest.Load(path)
 	if err != nil {
 		return err
@@ -117,6 +164,7 @@ func runFromManifest(path, proto string, slotWorkers int, engine string) error {
 	}
 	cfg.Workers = slotWorkers
 	cfg.Engine = engine
+	telRun := attachTelemetry(&cfg, report, vars)
 	env, err := core.NewEnv(cfg)
 	if err != nil {
 		return err
@@ -129,7 +177,77 @@ func runFromManifest(path, proto string, slotWorkers int, engine string) error {
 	fmt.Println(res)
 	fmt.Printf("energy: %v\n", res.Energy)
 	printSlotRatio(engine, res)
+	recordSingle(vars, cfg.N, res)
+	if report != "" {
+		return writeReport(report, p.Name(), engine, m, telRun, res, env.Transport.Collisions())
+	}
 	return nil
+}
+
+// attachTelemetry wires a telemetry run into cfg when either observability
+// sink wants one: sampling every period into the default-capacity ring, live
+// counters feeding vars. Returns nil (telemetry disabled) when neither the
+// report path nor the live registry is set.
+func attachTelemetry(cfg *core.Config, report string, vars *telemetry.Vars) *telemetry.Run {
+	if report == "" && vars == nil {
+		return nil
+	}
+	telRun := telemetry.NewRun(units.Slot(cfg.PeriodSlots), 0)
+	telRun.Live = vars
+	cfg.Telemetry = telRun
+	return telRun
+}
+
+// recordSingle folds a finished single run into the live registry. Stepped
+// slots were already counted live through Run.Live, so only the span, the
+// completion and the traffic are added here.
+func recordSingle(vars *telemetry.Vars, n int, res core.Result) {
+	vars.RecordResult(n, res.Converged, 0, res.TotalSlots, res.Counters.TotalTx())
+}
+
+// writeReport assembles and writes the machine-readable run report: schema,
+// protocol, config identity (digest + embedded manifest), result scalars and
+// the probe series.
+func writeReport(path, proto, engine string, m manifest.Manifest, telRun *telemetry.Run, res core.Result, collisions uint64) error {
+	if engine == "" {
+		engine = core.EngineSlot
+	}
+	rep := telRun.BuildReport(proto, engine, summarize(res, collisions))
+	digest, err := m.Digest()
+	if err != nil {
+		return err
+	}
+	raw, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	rep.ConfigDigest = digest
+	rep.Manifest = raw
+	if err := rep.WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Printf("wrote telemetry report (%d samples) to %s\n", len(rep.Series), path)
+	return nil
+}
+
+// summarize flattens a core.Result into the report's JSON-stable scalars.
+func summarize(res core.Result, collisions uint64) telemetry.ResultSummary {
+	return telemetry.ResultSummary{
+		Converged:        res.Converged,
+		ConvergenceSlots: res.ConvergenceSlots,
+		TotalTx:          res.Counters.TotalTx(),
+		Rach1Tx:          res.Counters.Tx[rach.RACH1],
+		Rach2Tx:          res.Counters.Tx[rach.RACH2],
+		Collisions:       collisions,
+		Ops:              res.Ops,
+		DiscoveredLinks:  res.DiscoveredLinks,
+		ServiceDiscovery: res.ServiceDiscovery,
+		ActiveSlots:      res.ActiveSlots,
+		TotalSlots:       res.TotalSlots,
+		EnergyMJ:         res.Energy.TotalMJ,
+		TreeEdges:        len(res.TreeEdges),
+		TreePhases:       res.TreePhases,
+	}
 }
 
 // printSlotRatio reports how much of the slot span the event engine actually
@@ -155,22 +273,31 @@ func protocolByName(name string) (core.Protocol, error) {
 	}
 }
 
-func run(exp, sizesStr string, seeds int, baseSeed int64, n int, proto string, maxSlots int64, workers, slotWorkers int, engine string, csv, plot bool) error {
+func run(o runOpts) error {
+	exp, seeds, baseSeed, n := o.exp, o.seeds, o.baseSeed, o.n
+	proto, maxSlots, engine := o.proto, o.maxSlots, o.engine
 	emit := func(t *metrics.Table) error {
-		if csv {
+		if o.csv {
 			return t.RenderCSV(os.Stdout)
 		}
 		return t.Render(os.Stdout)
 	}
 	sweep := func() ([]experiments.Row, error) {
-		sizes, err := parseSizes(sizesStr)
+		sizes, err := parseSizes(o.sizes)
 		if err != nil {
 			return nil, err
 		}
+		var onResult func(int, string, core.Result)
+		if o.vars != nil {
+			onResult = func(n int, _ string, res core.Result) {
+				o.vars.RecordResult(n, res.Converged, res.ActiveSlots, res.TotalSlots, res.Counters.TotalTx())
+			}
+		}
 		return experiments.RunSweep(experiments.Options{
 			Sizes: sizes, Seeds: seeds, BaseSeed: baseSeed,
-			MaxSlots: units.Slot(maxSlots), Workers: workers,
-			SlotWorkers: slotWorkers, Engine: engine,
+			MaxSlots: units.Slot(maxSlots), Workers: o.workers,
+			SlotWorkers: o.slotWorkers, Engine: engine,
+			OnResult: onResult,
 		})
 	}
 
@@ -192,7 +319,7 @@ func run(exp, sizesStr string, seeds int, baseSeed int64, n int, proto string, m
 		if err := emit(experiments.Fig3Table(rows)); err != nil {
 			return err
 		}
-		if plot {
+		if o.plot {
 			out, err := experiments.Fig3Chart(rows).Render()
 			if err != nil {
 				return err
@@ -209,7 +336,7 @@ func run(exp, sizesStr string, seeds int, baseSeed int64, n int, proto string, m
 		if err := emit(experiments.Fig4Table(rows)); err != nil {
 			return err
 		}
-		if plot {
+		if o.plot {
 			out, err := experiments.Fig4Chart(rows).Render()
 			if err != nil {
 				return err
@@ -230,6 +357,12 @@ func run(exp, sizesStr string, seeds int, baseSeed int64, n int, proto string, m
 			return err
 		}
 		return emit(experiments.EnergyTable(rows))
+	case "activity":
+		rows, err := sweep()
+		if err != nil {
+			return err
+		}
+		return emit(experiments.ActivityTable(rows))
 	case "ablation-shadowing":
 		t, err := experiments.AblationShadowing(n, seeds, baseSeed)
 		if err != nil {
@@ -297,7 +430,7 @@ func run(exp, sizesStr string, seeds int, baseSeed int64, n int, proto string, m
 		}
 		return emit(t)
 	case "threeway":
-		sizes, err := parseSizes(sizesStr)
+		sizes, err := parseSizes(o.sizes)
 		if err != nil {
 			return err
 		}
@@ -325,7 +458,7 @@ func run(exp, sizesStr string, seeds int, baseSeed int64, n int, proto string, m
 		}
 		return emit(t)
 	case "ablation-search":
-		sizes, err := parseSizes(sizesStr)
+		sizes, err := parseSizes(o.sizes)
 		if err != nil {
 			return err
 		}
@@ -336,11 +469,12 @@ func run(exp, sizesStr string, seeds int, baseSeed int64, n int, proto string, m
 		return emit(t)
 	case "single":
 		cfg := core.PaperConfig(n, baseSeed)
-		cfg.Workers = slotWorkers
+		cfg.Workers = o.slotWorkers
 		cfg.Engine = engine
 		if maxSlots > 0 {
 			cfg.MaxSlots = units.Slot(maxSlots)
 		}
+		telRun := attachTelemetry(&cfg, o.report, o.vars)
 		env, err := core.NewEnv(cfg)
 		if err != nil {
 			return err
@@ -357,6 +491,16 @@ func run(exp, sizesStr string, seeds int, baseSeed int64, n int, proto string, m
 		if res.TreeEdges != nil {
 			fmt.Printf("tree: %d edges over %d phases, weight %.1f\n",
 				len(res.TreeEdges), res.TreePhases, res.TreeWeight)
+		}
+		recordSingle(o.vars, cfg.N, res)
+		if o.report != "" {
+			// The single run is exactly manifest.Default(n, seed) with the
+			// slot-cap override, so the embedded manifest re-executes it.
+			m := manifest.Default(n, baseSeed)
+			if maxSlots > 0 {
+				m.MaxSlots = maxSlots
+			}
+			return writeReport(o.report, p.Name(), engine, m, telRun, res, env.Transport.Collisions())
 		}
 		return nil
 	default:

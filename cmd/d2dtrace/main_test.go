@@ -1,21 +1,82 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
 
 func TestRunST(t *testing.T) {
-	if err := run(15, 1, "ST", 3, false); err != nil {
+	if err := run(15, 1, "ST", 3, false, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunEvents(t *testing.T) {
-	if err := run(10, 1, "FST", 2, true); err != nil {
+	if err := run(10, 1, "FST", 2, true, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownProtocol(t *testing.T) {
-	if err := run(10, 1, "XYZ", 2, false); err == nil {
+	if err := run(10, 1, "XYZ", 2, false, ""); err == nil {
 		t.Error("unknown protocol should error")
+	}
+}
+
+func TestRunJSONLExportAndReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	if err := run(15, 1, "ST", 3, false, path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := trace.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("exported stream is empty")
+	}
+	var fires, merges, converges int
+	for _, e := range evs {
+		switch e.Kind {
+		case trace.KindFire:
+			fires++
+		case trace.KindMerge:
+			merges++
+		case trace.KindConverge:
+			converges++
+		}
+	}
+	if fires == 0 {
+		t.Error("stream holds no fire events")
+	}
+	if merges == 0 {
+		t.Error("ST stream holds no merge events")
+	}
+	if converges != 1 {
+		t.Errorf("stream holds %d converge events, want 1", converges)
+	}
+	if err := replayJSONL(path, 15, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayErrors(t *testing.T) {
+	if err := replayJSONL(filepath.Join(t.TempDir(), "missing.jsonl"), 10, 2); err == nil {
+		t.Error("missing stream should error")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := replayJSONL(empty, 10, 2); err == nil {
+		t.Error("empty stream should error")
 	}
 }

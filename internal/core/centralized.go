@@ -7,6 +7,7 @@ import (
 	"repro/internal/eventsim"
 	"repro/internal/graph"
 	"repro/internal/rach"
+	"repro/internal/trace"
 	"repro/internal/units"
 )
 
@@ -51,6 +52,9 @@ func (Centralized) Run(env *Env) Result {
 	discoverySlots := units.Slot(cfg.DiscoveryPeriods * cfg.PeriodSlots)
 	slotEng := newEngine(env)
 	defer slotEng.close()
+	// Telemetry probe: uplink reports and downlink broadcasts are charged
+	// to the protocol's counters, not the transport's.
+	slotEng.protoTx = func() uint64 { return res.Counters.TotalTx() }
 	bound := discoverySlots
 	if cfg.MaxSlots < bound {
 		bound = cfg.MaxSlots
@@ -189,6 +193,8 @@ func (Centralized) Run(env *Env) Result {
 	slotEng.finish(slot)
 	if !res.Converged {
 		res.ConvergenceSlots = cfg.MaxSlots
+	} else {
+		cfg.emit(trace.Event{Slot: res.ConvergenceSlots, Kind: trace.KindConverge, A: -1, B: -1})
 	}
 	res.ActiveSlots, res.TotalSlots = slotEng.slotStats()
 

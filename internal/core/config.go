@@ -24,6 +24,8 @@ import (
 	"repro/internal/geo"
 	"repro/internal/oscillator"
 	"repro/internal/radio"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/units"
 )
 
@@ -162,6 +164,28 @@ type Config struct {
 	// ProgressEvery is the sampling interval for ProgressTrace
 	// (0 disables).
 	ProgressEvery units.Slot
+
+	// EventTrace, when non-nil, receives structured protocol events —
+	// merges, joins, churn, detected convergence — as they happen (fires
+	// keep their dedicated FireTrace hook). Sinks stream these as
+	// schema-versioned JSONL (trace.JSONLWriter) so external tools can
+	// replay runs. Like every observability hook it must not mutate
+	// simulation state, and the engines guarantee it is RNG-neutral: the
+	// hook fires only at slots the run stepped anyway.
+	EventTrace func(ev trace.Event)
+
+	// Telemetry, when non-nil, enables the run-telemetry layer
+	// (internal/telemetry): per-slot stepped counters and time-series
+	// probes — order parameter, phase spread, discovered links, fragment
+	// count, cumulative RACH Tx and collisions — sampled at
+	// Telemetry.SampleEvery boundaries into a ring-buffered series. A nil
+	// Telemetry costs one pointer check per slot (the broadcast hot path
+	// stays at its 1 alloc/op steady state); an enabled one never draws
+	// from a random stream or reorders work, so results are bit-identical
+	// with telemetry on or off (pinned by telemetry_test.go). Like Workers
+	// and Engine it is an observability knob, not a model parameter, and
+	// manifests do not carry it.
+	Telemetry *telemetry.Run
 
 	// FailAt, when positive, injects post-setup churn: the devices in
 	// FailSet power off at that slot (no earlier than the protocol's

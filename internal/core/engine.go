@@ -5,7 +5,9 @@ import (
 	"sync"
 
 	"repro/internal/device"
+	"repro/internal/oscillator"
 	"repro/internal/rach"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -98,6 +100,16 @@ type engine struct {
 	ev      *eventEngine    // non-nil when Config.Engine selects EngineEvent
 	service func(int) int   // sender -> service tag, hoisted off the hot path
 
+	// Telemetry probe hooks, set by the protocol before its loop starts:
+	// fragFn reports the current fragment/component count, protoTx the
+	// control traffic the protocol charges outside the transport (FST join
+	// handshakes, ST RACH2 merges, BS uplink reports). Both are read only
+	// at sampling boundaries, never on the per-slot hot path.
+	fragFn  func() int
+	protoTx func() uint64
+	// phasesBuf is the reusable alive-phase snapshot sampling reads.
+	phasesBuf []float64
+
 	// Slot accounting for the active/total ratio the event engine reports:
 	// activeSlots counts stepSlot calls, totalSlots the span the run
 	// covered (they coincide for the slot engines).
@@ -180,13 +192,58 @@ func (e *engine) stepSlot(slot units.Slot, couples couplingRule, opsPerPulse uin
 		e.totalSlots += uint64(slot - e.lastSlot)
 		e.lastSlot = slot
 	}
+	var fired []int
 	switch {
 	case e.ev != nil:
-		return e.ev.step(slot, couples, opsPerPulse, ops)
+		fired = e.ev.step(slot, couples, opsPerPulse, ops)
 	case e.pool == nil:
-		return e.stepSequential(slot, couples, opsPerPulse, ops)
+		fired = e.stepSequential(slot, couples, opsPerPulse, ops)
 	default:
-		return e.stepParallel(slot, couples, opsPerPulse, ops)
+		fired = e.stepParallel(slot, couples, opsPerPulse, ops)
+	}
+	// Telemetry probes ride behind a nil check so the disabled path stays
+	// on the measured steady state. Sampling only reads state the slot
+	// already settled — no RNG draw, no reordering — and materializes lazy
+	// phases first, which is trajectory-preserving on the event engine.
+	if t := e.env.Cfg.Telemetry; t != nil {
+		t.SlotStepped()
+		if t.WantsSample(slot) {
+			e.materializeAllAt(slot)
+			t.Record(e.sample(slot))
+		}
+	}
+	return fired
+}
+
+// sample takes one telemetry probe reading at slot: synchrony measures over
+// the alive phases, discovery coverage, the protocol's fragment count and
+// the cumulative traffic tallies. Runs only at sampling boundaries.
+func (e *engine) sample(slot units.Slot) telemetry.Sample {
+	env := e.env
+	buf := e.phasesBuf[:0]
+	for i, d := range env.Devices {
+		if env.Alive[i] {
+			buf = append(buf, d.Osc.Phase)
+		}
+	}
+	e.phasesBuf = buf
+	frags := 0
+	if e.fragFn != nil {
+		frags = e.fragFn()
+	}
+	var extra uint64
+	if e.protoTx != nil {
+		extra = e.protoTx()
+	}
+	tc := env.Transport.Counters()
+	return telemetry.Sample{
+		Slot:        slot,
+		OrderParam:  oscillator.OrderParameter(buf),
+		PhaseSpread: oscillator.PhaseSpread(buf),
+		Links:       countDiscoveredLinks(env),
+		Fragments:   frags,
+		RachTx:      tc.TotalTx() + extra,
+		Collisions:  env.Transport.Collisions(),
 	}
 }
 

@@ -73,17 +73,24 @@ func newEventEngine(e *engine) *eventEngine {
 }
 
 // nextAfter returns the engine's conservative next-event horizon after the
-// given slot: the earliest scheduled fire or progress-trace boundary, or
-// slotHorizonNone when neither remains.
+// given slot: the earliest scheduled fire, progress-trace boundary or
+// telemetry sampling boundary, or slotHorizonNone when none remains.
+// Telemetry boundaries are stepped explicitly — like ProgressTrace ones —
+// so probes sample materialized phases; the extra stepped slots are inert
+// (no fire, no RNG draw) and visible only in ActiveSlots.
 func (ev *eventEngine) nextAfter(after units.Slot) units.Slot {
 	next := slotHorizonNone
 	if _, at, ok := ev.fq.Peek(); ok {
 		next = at
 	}
-	if cfg := ev.env.Cfg; cfg.ProgressTrace != nil && cfg.ProgressEvery > 0 {
+	cfg := ev.env.Cfg
+	if cfg.ProgressTrace != nil && cfg.ProgressEvery > 0 {
 		if t := (after/cfg.ProgressEvery + 1) * cfg.ProgressEvery; t < next {
 			next = t
 		}
+	}
+	if t, ok := cfg.Telemetry.NextSampleAfter(after); ok && t < next {
+		next = t
 	}
 	return next
 }

@@ -5,6 +5,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/oscillator"
 	"repro/internal/rach"
+	"repro/internal/trace"
 	"repro/internal/units"
 )
 
@@ -59,6 +60,16 @@ func (FST) Run(env *Env) Result {
 
 	eng := newEngine(env)
 	defer eng.close()
+	// Telemetry probes: the unjoined devices each form their own component
+	// beside the single growing tree; join handshakes are charged to the
+	// protocol's counters, not the transport's.
+	eng.fragFn = func() int {
+		if joined == 0 {
+			return cfg.N
+		}
+		return 1 + cfg.N - joined
+	}
+	eng.protoTx = func() uint64 { return res.Counters.TotalTx() }
 	var slot units.Slot
 	for slot = 1; slot <= cfg.MaxSlots; {
 		fired := eng.stepSlot(slot, couples, opsPerPulse, &res.Ops)
@@ -83,6 +94,7 @@ func (FST) Run(env *Env) Result {
 				inTree[v] = true
 				joined++
 				treeEdges = append(treeEdges, graph.Edge{U: u, V: v, Weight: fstLinkWeight(env, u, v)})
+				cfg.emit(trace.Event{Slot: slot, Kind: trace.KindJoin, A: u, B: v})
 				// Sync-word adoption: the joiner aligns to the tree.
 				eng.materialize(u, slot)
 				eng.materialize(v, slot)
@@ -97,6 +109,9 @@ func (FST) Run(env *Env) Result {
 			churned = true
 			eng.dropFailed()
 			det = oscillator.NewSyncDetector(env.AliveCount(), cfg.SyncWindowSlots, cfg.StableRounds)
+			for _, id := range cfg.FailSet {
+				cfg.emit(trace.Event{Slot: slot, Kind: trace.KindChurn, A: id, B: -1})
+			}
 		}
 
 		// Synchrony only counts once the tree spans every device.
@@ -110,6 +125,7 @@ func (FST) Run(env *Env) Result {
 		if res.Converged {
 			_, at := det.Synced()
 			res.ConvergenceSlots = units.Slot(at)
+			cfg.emit(trace.Event{Slot: res.ConvergenceSlots, Kind: trace.KindConverge, A: -1, B: -1})
 			break
 		}
 

@@ -3,8 +3,18 @@ package core
 import (
 	"repro/internal/device"
 	"repro/internal/rach"
+	"repro/internal/trace"
 	"repro/internal/units"
 )
+
+// emit forwards one structured protocol event to the EventTrace hook when
+// configured. Events fire only at slots the run stepped anyway, so the hook
+// is RNG-neutral by construction.
+func (c *Config) emit(ev trace.Event) {
+	if c.EventTrace != nil {
+		c.EventTrace(ev)
+	}
+}
 
 // couplingRule decides whether a receiver's oscillator takes a pulse from a
 // sender. FST couples on everything heard; ST couples along tree edges.

@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in. Allocation
+// guards skip under it: the detector instruments allocations and the
+// steady-state numbers stop meaning anything.
+const raceEnabled = false

@@ -7,6 +7,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/oscillator"
 	"repro/internal/rach"
+	"repro/internal/trace"
 	"repro/internal/units"
 )
 
@@ -80,6 +81,16 @@ func (ST) Run(env *Env) Result {
 
 	eng := newEngine(env)
 	defer eng.close()
+	// Telemetry probes: fragment count from the merge protocol's
+	// union-find (every device is its own fragment until discovery ends);
+	// RACH2 merge traffic is charged to the protocol's counters.
+	eng.fragFn = func() int {
+		if tree == nil {
+			return cfg.N
+		}
+		return tree.Fragments()
+	}
+	eng.protoTx = func() uint64 { return res.Counters.TotalTx() }
 	finalSlot := cfg.MaxSlots
 	var slot units.Slot
 	for slot = 1; slot <= cfg.MaxSlots; {
@@ -110,6 +121,7 @@ func (ST) Run(env *Env) Result {
 							env.Devices[m].Osc.Phase = ref
 							eng.phaseWritten(m, slot)
 						}
+						cfg.emit(trace.Event{Slot: slot, Kind: trace.KindMerge, A: edge.U, B: edge.V})
 					},
 				})
 			}
@@ -133,6 +145,9 @@ func (ST) Run(env *Env) Result {
 			churned = true
 			eng.dropFailed()
 			det = oscillator.NewSyncDetector(env.AliveCount(), cfg.SyncWindowSlots, cfg.StableRounds)
+			for _, id := range cfg.FailSet {
+				cfg.emit(trace.Event{Slot: slot, Kind: trace.KindChurn, A: id, B: -1})
+			}
 		}
 
 		// Synchrony only counts once the forest is complete: a lone
@@ -148,6 +163,7 @@ func (ST) Run(env *Env) Result {
 			_, at := det.Synced()
 			res.ConvergenceSlots = units.Slot(at)
 			finalSlot = slot
+			cfg.emit(trace.Event{Slot: res.ConvergenceSlots, Kind: trace.KindConverge, A: -1, B: -1})
 			break
 		}
 

@@ -46,6 +46,11 @@ type Options struct {
 	// Configure, when non-nil, post-processes each run's Config (used by
 	// the ablations).
 	Configure func(*core.Config)
+	// OnResult, when non-nil, observes every finished run (live telemetry:
+	// `d2dsim -telemetry-addr` feeds its metric registry from here). Called
+	// concurrently from the sweep workers — implementations must be
+	// goroutine-safe and must not mutate the Result.
+	OnResult func(n int, protocol string, res core.Result)
 }
 
 // DefaultOptions mirrors the paper's sweep: 50 to 1000 devices at the
@@ -69,6 +74,8 @@ type Row struct {
 	OpsST      metrics.Summary
 	EnergyFST  metrics.Summary // total battery cost, mJ
 	EnergyST   metrics.Summary
+	ActiveFST  metrics.Summary // stepped/covered slot ratio (1 on slot engines)
+	ActiveST   metrics.Summary
 	ConvFST    int // converged runs out of Seeds
 	ConvST     int
 	TreePhases metrics.Summary // ST merge phases
@@ -132,6 +139,9 @@ func RunSweep(opts Options) ([]Row, error) {
 					return
 				}
 				res := j.proto.Run(env)
+				if opts.OnResult != nil {
+					opts.OnResult(j.n, j.proto.Name(), res)
+				}
 				outCh <- outcome{n: j.n, fst: j.proto.Name() == "FST", res: res}
 			}
 		}()
@@ -149,8 +159,8 @@ func RunSweep(opts Options) ([]Row, error) {
 	}
 
 	type acc struct {
-		tFST, tST, mFST, mST, oFST, oST, eFST, eST, phases []float64
-		cFST, cST                                          int
+		tFST, tST, mFST, mST, oFST, oST, eFST, eST, aFST, aST, phases []float64
+		cFST, cST                                                     int
 	}
 	byN := make(map[int]*acc)
 	for o := range outCh {
@@ -162,11 +172,16 @@ func RunSweep(opts Options) ([]Row, error) {
 		t := float64(o.res.ConvergenceSlots)
 		m := float64(o.res.Counters.TotalTx())
 		ops := float64(o.res.Ops)
+		active := 1.0
+		if o.res.TotalSlots > 0 {
+			active = float64(o.res.ActiveSlots) / float64(o.res.TotalSlots)
+		}
 		if o.fst {
 			a.tFST = append(a.tFST, t)
 			a.mFST = append(a.mFST, m)
 			a.oFST = append(a.oFST, ops)
 			a.eFST = append(a.eFST, o.res.Energy.TotalMJ)
+			a.aFST = append(a.aFST, active)
 			if o.res.Converged {
 				a.cFST++
 			}
@@ -175,6 +190,7 @@ func RunSweep(opts Options) ([]Row, error) {
 			a.mST = append(a.mST, m)
 			a.oST = append(a.oST, ops)
 			a.eST = append(a.eST, o.res.Energy.TotalMJ)
+			a.aST = append(a.aST, active)
 			a.phases = append(a.phases, float64(o.res.TreePhases))
 			if o.res.Converged {
 				a.cST++
@@ -198,6 +214,8 @@ func RunSweep(opts Options) ([]Row, error) {
 			OpsST:      metrics.Summarize(a.oST),
 			EnergyFST:  metrics.Summarize(a.eFST),
 			EnergyST:   metrics.Summarize(a.eST),
+			ActiveFST:  metrics.Summarize(a.aFST),
+			ActiveST:   metrics.Summarize(a.aST),
 			ConvFST:    a.cFST,
 			ConvST:     a.cST,
 			TreePhases: metrics.Summarize(a.phases),
@@ -275,6 +293,24 @@ func EnergyTable(rows []Row) *metrics.Table {
 			ratio = s / f
 		}
 		t.AddRow(r.N, f, s, ratio)
+	}
+	return t
+}
+
+// ActivityTable renders the per-run observability summary the telemetry
+// layer surfaces: the active-slot ratio (slots the engine actually stepped
+// over the span covered — 1.0 on the slot engines, the measured sparsity on
+// the event engine) next to the battery cost. `d2dsim -exp activity -csv`
+// dumps it for plotting.
+func ActivityTable(rows []Row) *metrics.Table {
+	t := metrics.NewTable(
+		"Slot activity and energy to convergence (active = stepped/covered slots)",
+		"nodes", "FST active", "ST active", "FST mJ", "ST mJ", "FST mJ/dev", "ST mJ/dev",
+	)
+	for _, r := range rows {
+		t.AddRow(r.N, r.ActiveFST.Mean, r.ActiveST.Mean,
+			r.EnergyFST.Mean, r.EnergyST.Mean,
+			r.EnergyFST.Mean/float64(r.N), r.EnergyST.Mean/float64(r.N))
 	}
 	return t
 }

@@ -6,6 +6,8 @@
 package manifest
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -136,6 +138,19 @@ func (m Manifest) ToConfig() (core.Config, error) {
 		return core.Config{}, fmt.Errorf("manifest: %w", err)
 	}
 	return cfg, nil
+}
+
+// Digest returns the SHA-256 hex digest of the manifest's compact JSON
+// encoding — the stable identity of a run configuration. Telemetry reports
+// carry it so a plotted series can be traced back to the exact parameters
+// that produced it.
+func (m Manifest) Digest() (string, error) {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
 }
 
 // Write serializes the manifest as indented JSON.

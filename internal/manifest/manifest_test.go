@@ -130,3 +130,30 @@ func TestAllPathLossAndFadingVariantsLoad(t *testing.T) {
 		}
 	}
 }
+
+func TestDigestStableAndSensitive(t *testing.T) {
+	a := Default(40, 12345)
+	d1, err := a.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := a.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Error("digest must be deterministic")
+	}
+	if len(d1) != 64 {
+		t.Errorf("digest %q is not sha256 hex", d1)
+	}
+	b := Default(40, 12345)
+	b.Seed = 54321
+	d3, err := b.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3 == d1 {
+		t.Error("different configurations must digest differently")
+	}
+}

@@ -490,7 +490,11 @@ func OrderParameter(phases []float64) float64 {
 		im += math.Sin(a)
 	}
 	n := float64(len(phases))
-	return math.Hypot(re, im) / n
+	r := math.Hypot(re, im) / n
+	if r > 1 { // float rounding can overshoot the mathematical bound
+		r = 1
+	}
+	return r
 }
 
 // PhaseSpread returns the smallest arc (as a fraction of the cycle, in

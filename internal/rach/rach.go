@@ -197,13 +197,14 @@ type Transport struct {
 	// in the sequential protocol phase.
 	SenderStreams []*xrand.Stream
 
-	positions []geo.Point
-	grid      *geo.Grid
-	idx       *LinkIndex
-	noIndex   bool
-	reach     units.Metre
-	counters  Counters
-	scratch   []int
+	positions  []geo.Point
+	grid       *geo.Grid
+	idx        *LinkIndex
+	noIndex    bool
+	reach      units.Metre
+	counters   Counters
+	collisions uint64
+	scratch    []int
 
 	// Reused delivery-path buffers (the zero-allocation broadcast path).
 	// Slices returned by Broadcast/Resolve alias dels and are valid until
@@ -285,8 +286,20 @@ func (t *Transport) CandidateRadius() units.Metre { return t.reach }
 // Counters returns a copy of the current counters.
 func (t *Transport) Counters() Counters { return t.counters }
 
-// ResetCounters zeroes the counters (used between experiment phases).
-func (t *Transport) ResetCounters() { t.counters = Counters{} }
+// Collisions returns the cumulative number of contention groups (receiver ×
+// preamble) in which no PS decoded because of same-slot interference — the
+// capture margin unmet, or the SINR requirement failed with more than one
+// arrival present. It is a pure observation of arbitration decisions already
+// made, kept outside Counters so the differential fingerprints and goldens
+// that compare Counters by value are untouched.
+func (t *Transport) Collisions() uint64 { return t.collisions }
+
+// ResetCounters zeroes the counters and the collision tally (used between
+// experiment phases).
+func (t *Transport) ResetCounters() {
+	t.counters = Counters{}
+	t.collisions = 0
+}
 
 // Broadcast transmits one PS from device from, sampling the channel to every
 // candidate neighbour, and returns the deliveries whose RSSI met the
@@ -646,10 +659,16 @@ func (p *BroadcastPlan) Resolve() []Delivery {
 			t.interf = interferers
 			sinr := radio.SINR(arr[best].rssi, interferers, t.NoiseFloor)
 			if !radio.Detectable(sinr, t.RequiredSNRDB) {
+				if len(arr) > 1 {
+					// A lone sub-threshold arrival failing SINR is noise,
+					// not interference; with contenders it is a collision.
+					t.collisions++
+				}
 				lo = hi
 				continue
 			}
 		} else if second >= 0 && float64(arr[best].rssi-arr[second].rssi) < t.CaptureMarginDB {
+			t.collisions++
 			lo = hi
 			continue // collision: nothing decodable on this preamble
 		}

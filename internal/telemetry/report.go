@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/units"
+)
+
+// ReportSchema versions the machine-readable run report so downstream
+// tooling can reject reports written by an incompatible layout.
+const ReportSchema = 1
+
+// ResultSummary is the flat, JSON-stable view of a run's end-of-run
+// scalars. It mirrors core.Result without importing core (telemetry is a
+// substrate package; core imports it, never the reverse) — cmd/d2dsim fills
+// it from the Result it already holds.
+type ResultSummary struct {
+	// Converged reports whether network-wide synchrony was reached.
+	Converged bool `json:"converged"`
+	// ConvergenceSlots is the synchrony-detection slot (or the slot cap).
+	ConvergenceSlots units.Slot `json:"convergence_slots"`
+	// TotalTx is the total control-message transmission count.
+	TotalTx uint64 `json:"total_tx"`
+	// Rach1Tx and Rach2Tx split TotalTx per codec.
+	Rach1Tx uint64 `json:"rach1_tx"`
+	// Rach2Tx is the RACH2 (merge/handshake) transmission count.
+	Rach2Tx uint64 `json:"rach2_tx"`
+	// Collisions counts contention groups lost to collision arbitration.
+	Collisions uint64 `json:"collisions"`
+	// Ops counts brightness-ranking operations.
+	Ops uint64 `json:"ops"`
+	// DiscoveredLinks counts directed neighbour-table entries.
+	DiscoveredLinks int `json:"discovered_links"`
+	// ServiceDiscovery is the same-service pair discovery ratio.
+	ServiceDiscovery float64 `json:"service_discovery"`
+	// ActiveSlots and TotalSlots are the engine's stepped/covered spans.
+	ActiveSlots uint64 `json:"active_slots"`
+	// TotalSlots is the slot span the run covered.
+	TotalSlots uint64 `json:"total_slots"`
+	// EnergyMJ is the run's total battery cost in millijoules.
+	EnergyMJ float64 `json:"energy_mj"`
+	// TreeEdges and TreePhases summarize the spanning forest (ST/BS).
+	TreeEdges int `json:"tree_edges"`
+	// TreePhases is the number of fragment merge phases run.
+	TreePhases int `json:"tree_phases"`
+}
+
+// Report is the machine-readable run report `d2dsim -report` emits: enough
+// to identify the run (protocol + config digest + embedded manifest),
+// reproduce it, and plot its trajectory (the probe series).
+type Report struct {
+	// Schema is ReportSchema at write time.
+	Schema int `json:"schema"`
+	// Protocol names the protocol that produced the run.
+	Protocol string `json:"protocol"`
+	// Engine is the stepping strategy used ("slot"/"event"; informational
+	// only — results are engine-invariant).
+	Engine string `json:"engine,omitempty"`
+	// ConfigDigest is the SHA-256 digest of the canonical manifest JSON,
+	// the stable identity of the run configuration.
+	ConfigDigest string `json:"config_digest,omitempty"`
+	// Manifest embeds the full manifest JSON so the report alone suffices
+	// to re-execute the run (`d2dsim -config`).
+	Manifest json.RawMessage `json:"manifest,omitempty"`
+	// Result carries the end-of-run scalars.
+	Result ResultSummary `json:"result"`
+	// SampleEverySlots is the probe sampling interval.
+	SampleEverySlots units.Slot `json:"sample_every_slots"`
+	// DroppedSamples counts ring overwrites: the series' first
+	// DroppedSamples points were lost, the retained series is the tail.
+	DroppedSamples int `json:"dropped_samples"`
+	// Series is the retained probe time series, oldest first.
+	Series []Sample `json:"series"`
+}
+
+// BuildReport assembles a Report from a finished run's telemetry.
+func (r *Run) BuildReport(protocol, engine string, res ResultSummary) Report {
+	return Report{
+		Schema:           ReportSchema,
+		Protocol:         protocol,
+		Engine:           engine,
+		Result:           res,
+		SampleEverySlots: r.SampleEvery(),
+		DroppedSamples:   r.Dropped(),
+		Series:           r.Samples(),
+	}
+}
+
+// WriteFile marshals the report (indented, trailing newline) to path.
+func (rep Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadReport reads and validates a report written by WriteFile.
+func LoadReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return Report{}, fmt.Errorf("telemetry: parse %s: %w", path, err)
+	}
+	if rep.Schema != ReportSchema {
+		return Report{}, fmt.Errorf("telemetry: report schema %d, want %d", rep.Schema, ReportSchema)
+	}
+	return rep, nil
+}

@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// Vars is the process-wide live metric registry an HTTP scrape reads while
+// sweeps run. All fields are atomics: sweep workers update them
+// concurrently, the exposition handlers read them without locks.
+type Vars struct {
+	// RunsCompleted counts finished protocol runs.
+	RunsCompleted atomic.Uint64
+	// RunsConverged counts finished runs that reached synchrony.
+	RunsConverged atomic.Uint64
+	// SlotsStepped counts slots the run engines actually stepped.
+	SlotsStepped atomic.Uint64
+	// SlotsTotal counts the slot spans runs covered (stepped + skipped).
+	SlotsTotal atomic.Uint64
+	// Messages counts control-message transmissions across runs.
+	Messages atomic.Uint64
+	// SweepPoint holds the device count of the sweep point most recently
+	// finished (a progress gauge for long sweeps).
+	SweepPoint atomic.Int64
+}
+
+// RecordResult folds one finished run's headline numbers into the live
+// registry. Safe to call from concurrent sweep workers.
+func (v *Vars) RecordResult(n int, converged bool, activeSlots, totalSlots, messages uint64) {
+	if v == nil {
+		return
+	}
+	v.RunsCompleted.Add(1)
+	if converged {
+		v.RunsConverged.Add(1)
+	}
+	v.SlotsStepped.Add(activeSlots)
+	v.SlotsTotal.Add(totalSlots)
+	v.Messages.Add(messages)
+	v.SweepPoint.Store(int64(n))
+}
+
+// ActiveSlotRatio returns stepped/total over everything recorded so far
+// (1.0 when nothing ran yet — the slot engines' value).
+func (v *Vars) ActiveSlotRatio() float64 {
+	total := v.SlotsTotal.Load()
+	if total == 0 {
+		return 1
+	}
+	return float64(v.SlotsStepped.Load()) / float64(total)
+}
+
+// Snapshot returns the registry as a plain map — the expvar view.
+func (v *Vars) Snapshot() map[string]any {
+	return map[string]any{
+		"runs_completed":    v.RunsCompleted.Load(),
+		"runs_converged":    v.RunsConverged.Load(),
+		"slots_stepped":     v.SlotsStepped.Load(),
+		"slots_total":       v.SlotsTotal.Load(),
+		"active_slot_ratio": v.ActiveSlotRatio(),
+		"messages":          v.Messages.Load(),
+		"sweep_point":       v.SweepPoint.Load(),
+	}
+}
+
+// WriteMetrics writes the registry in Prometheus text exposition format.
+// The metric names are part of the documented interface (DESIGN.md §7):
+//
+//	d2dsim_runs_completed_total
+//	d2dsim_runs_converged_total
+//	d2dsim_slots_stepped_total
+//	d2dsim_slots_total
+//	d2dsim_active_slot_ratio
+//	d2dsim_messages_total
+//	d2dsim_sweep_point
+func (v *Vars) WriteMetrics(w io.Writer) error {
+	type metric struct {
+		name, help, typ string
+		value           any
+	}
+	metrics := []metric{
+		{"d2dsim_runs_completed_total", "Protocol runs completed.", "counter", v.RunsCompleted.Load()},
+		{"d2dsim_runs_converged_total", "Completed runs that reached synchrony.", "counter", v.RunsConverged.Load()},
+		{"d2dsim_slots_stepped_total", "Slots the run engines actually stepped.", "counter", v.SlotsStepped.Load()},
+		{"d2dsim_slots_total", "Slot spans covered by runs (stepped + skipped).", "counter", v.SlotsTotal.Load()},
+		{"d2dsim_active_slot_ratio", "Stepped/total slot ratio across runs.", "gauge", v.ActiveSlotRatio()},
+		{"d2dsim_messages_total", "Control-message transmissions across runs.", "counter", v.Messages.Load()},
+		{"d2dsim_sweep_point", "Device count of the sweep point last finished.", "gauge", v.SweepPoint.Load()},
+	}
+	for _, m := range metrics {
+		var err error
+		switch val := m.value.(type) {
+		case float64:
+			_, err = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", m.name, m.help, m.name, m.typ, m.name, val)
+		default:
+			_, err = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", m.name, m.help, m.name, m.typ, m.name, val)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// publishMu guards the process-global expvar publication (expvar panics on
+// duplicate names, and tests build more than one exposition mux).
+var publishMu sync.Mutex
+
+// NewMux builds the exposition handler set over v:
+//
+//	/metrics      — Prometheus text format (WriteMetrics)
+//	/debug/vars   — expvar JSON (v published under "d2dsim")
+//	/debug/pprof/ — the standard pprof index, profile, trace handlers
+func NewMux(v *Vars) *http.ServeMux {
+	publishMu.Lock()
+	if expvar.Get("d2dsim") == nil {
+		expvar.Publish("d2dsim", expvar.Func(func() any { return v.Snapshot() }))
+	}
+	publishMu.Unlock()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = v.WriteMetrics(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the exposition server on addr (":0" picks a free port) and
+// returns the server plus the bound address. The caller owns shutdown via
+// srv.Close; serving errors after Close are swallowed.
+func Serve(addr string, v *Vars) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: NewMux(v)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/units"
+)
+
+// JSONLSchema versions the streaming event record layout. Readers must
+// reject lines written by a different major schema; the version rides in
+// every record so a stream is self-describing even when truncated.
+const JSONLSchema = 1
+
+// jsonlRecord is the wire form of one Event: schema version, slot, kind as
+// its stable string name, and the two device ids (-1 = not applicable).
+type jsonlRecord struct {
+	V    int    `json:"v"`
+	Slot int64  `json:"slot"`
+	Kind string `json:"kind"`
+	A    int    `json:"a"`
+	B    int    `json:"b"`
+}
+
+// kindFromString inverts Kind.String for the schema's stable names.
+func kindFromString(s string) (Kind, error) {
+	for _, k := range []Kind{KindFire, KindMerge, KindJoin, KindConverge, KindChurn} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown event kind %q", s)
+}
+
+// JSONLWriter streams events as one JSON object per line — the unbounded
+// counterpart to the Recorder ring: nothing is dropped, and external tools
+// can replay the run from the file. Writes are buffered; call Flush (or
+// Close on the underlying file after Flush) before reading the stream back.
+type JSONLWriter struct {
+	bw    *bufio.Writer
+	count int
+	err   error
+}
+
+// NewJSONLWriter wraps w in a streaming event sink.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{bw: bufio.NewWriter(w)}
+}
+
+// Write appends one event to the stream. After the first error every
+// subsequent Write returns it without writing (so hot hooks can ignore the
+// return and check once at Flush).
+func (jw *JSONLWriter) Write(e Event) error {
+	if jw.err != nil {
+		return jw.err
+	}
+	rec := jsonlRecord{V: JSONLSchema, Slot: int64(e.Slot), Kind: e.Kind.String(), A: e.A, B: e.B}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		jw.err = err
+		return err
+	}
+	if _, err := jw.bw.Write(data); err != nil {
+		jw.err = err
+		return err
+	}
+	if err := jw.bw.WriteByte('\n'); err != nil {
+		jw.err = err
+		return err
+	}
+	jw.count++
+	return nil
+}
+
+// Count returns the number of events written so far.
+func (jw *JSONLWriter) Count() int { return jw.count }
+
+// Flush drains the buffer to the underlying writer and returns the first
+// error the sink hit, if any.
+func (jw *JSONLWriter) Flush() error {
+	if jw.err != nil {
+		return jw.err
+	}
+	jw.err = jw.bw.Flush()
+	return jw.err
+}
+
+// ReadJSONL decodes a stream written by JSONLWriter back into events,
+// validating the schema version of every record. Blank lines are skipped.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec jsonlRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if rec.V != JSONLSchema {
+			return nil, fmt.Errorf("trace: line %d: schema %d, want %d", line, rec.V, JSONLSchema)
+		}
+		kind, err := kindFromString(rec.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, Event{Slot: units.Slot(rec.Slot), Kind: kind, A: rec.A, B: rec.B})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

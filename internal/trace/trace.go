@@ -25,6 +25,8 @@ const (
 	KindJoin
 	// KindConverge marks detected synchrony.
 	KindConverge
+	// KindChurn is a device powering off (post-setup failure injection).
+	KindChurn
 )
 
 // String implements fmt.Stringer.
@@ -38,6 +40,8 @@ func (k Kind) String() string {
 		return "join"
 	case KindConverge:
 		return "converge"
+	case KindChurn:
+		return "churn"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -54,9 +58,10 @@ type Event struct {
 // Recorder is a bounded ring buffer of events. The zero value is unusable;
 // call NewRecorder. Recording past capacity overwrites the oldest events.
 type Recorder struct {
-	buf   []Event
-	next  int
-	count int
+	buf     []Event
+	next    int
+	count   int
+	dropped int
 }
 
 // NewRecorder returns a recorder holding up to capacity events.
@@ -67,13 +72,16 @@ func NewRecorder(capacity int) *Recorder {
 	return &Recorder{buf: make([]Event, capacity)}
 }
 
-// Add records one event.
+// Add records one event, overwriting the oldest when the ring is full (the
+// overwrite is counted — see Dropped).
 func (r *Recorder) Add(e Event) {
-	r.buf[r.next] = e
-	r.next = (r.next + 1) % len(r.buf)
-	if r.count < len(r.buf) {
+	if r.count == len(r.buf) {
+		r.dropped++
+	} else {
 		r.count++
 	}
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
 }
 
 // Fire is shorthand for recording a device fire.
@@ -83,6 +91,11 @@ func (r *Recorder) Fire(slot units.Slot, device int) {
 
 // Len returns the number of retained events.
 func (r *Recorder) Len() int { return r.count }
+
+// Dropped returns how many events the ring overwrote: the recording's
+// first Dropped events are lost and Events() is the tail. Renderers use it
+// to say "first K events lost" instead of silently truncating the raster.
+func (r *Recorder) Dropped() int { return r.dropped }
 
 // Events returns the retained events in recording order (oldest first).
 func (r *Recorder) Events() []Event {
