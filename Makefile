@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-core ci bench bench-slot bench-link bench-event bench-record bench-compare bench-telemetry sweep examples fuzz clean
+.PHONY: all build test vet race race-core ci bench bench-slot bench-link bench-event bench-record bench-compare bench-telemetry bench-faults sweep examples fuzz clean
 
 all: build vet test
 
@@ -48,6 +48,13 @@ bench-link:
 bench-telemetry:
 	$(GO) test -run '^$$' -bench 'BenchmarkStepSlot$$|BenchmarkStepSlotTelemetry' -benchmem ./internal/core/
 
+# Fault-layer overhead on the slot hot path: nil plan vs. empty plan
+# (boundary checks only — must match nil, also pinned by
+# TestStepSlotEmptyFaultPlanAllocs) vs. an active loss rate (one RNG draw
+# per delivery). See DESIGN.md §9.
+bench-faults:
+	$(GO) test -run '^$$' -bench 'BenchmarkStepSlot$$|BenchmarkStepSlotFaults' -benchmem ./internal/core/
+
 # Whole-run slot vs. event engine: the dense paper configs (where the two
 # are near-identical) and the sparse ProSe-period config (where the event
 # engine skips >99% of slots). See EXPERIMENTS.md "Event engine".
@@ -90,10 +97,12 @@ examples:
 	$(GO) run ./examples/firingraster
 	$(GO) run ./examples/underlay
 	$(GO) run ./examples/reproduce
+	$(GO) run ./examples/faultrecovery
 
 fuzz:
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/manifest/
 	$(GO) test -fuzz=FuzzSummarize -fuzztime=30s ./internal/metrics/
+	$(GO) test -fuzz=FuzzLoadPlan -fuzztime=30s ./internal/faults/
 
 clean:
 	$(GO) clean ./...

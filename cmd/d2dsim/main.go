@@ -14,6 +14,8 @@
 //	d2dsim -exp single -proto FST -n 200 -engine event
 //	d2dsim -exp single -proto ST -n 1000 -cpuprofile cpu.pprof -memprofile mem.pprof
 //	d2dsim -exp single -proto ST -n 200 -report run.json
+//	d2dsim -exp single -proto ST -n 200 -faults plan.json
+//	d2dsim -exp recovery -sizes 50,100,200 -seeds 5
 //	d2dsim -exp fig3 -telemetry-addr :8080
 package main
 
@@ -29,6 +31,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/manifest"
 	"repro/internal/metrics"
 	"repro/internal/rach"
@@ -38,7 +41,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "fig3", "experiment: table1, fig2, fig3, fig4, ops, ablation-shadowing, ablation-topology, ablation-drift, ablation-preambles, ablation-search, single")
+		exp         = flag.String("exp", "fig3", "experiment: table1, fig2, fig3, fig4, ops, recovery, ablation-shadowing, ablation-topology, ablation-drift, ablation-preambles, ablation-search, single")
 		sizesStr    = flag.String("sizes", "50,100,200,400,600,800,1000", "comma-separated device counts for sweeps")
 		seeds       = flag.Int("seeds", 5, "repetitions per sweep point")
 		baseSeed    = flag.Int64("seed", 1, "base seed")
@@ -55,6 +58,7 @@ func main() {
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile  = flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 		reportPath  = flag.String("report", "", "write a machine-readable telemetry report (JSON: config digest, result, probe series) of a single/-config run to this file")
+		faultsPath  = flag.String("faults", "", "inject a JSON fault plan (crashes, recoveries, joins, clock jumps, outages, loss) into a single/-config run")
 		telAddr     = flag.String("telemetry-addr", "", "serve live metrics on this address (/metrics Prometheus text, /debug/vars expvar, /debug/pprof/)")
 	)
 	flag.Parse()
@@ -107,8 +111,14 @@ func main() {
 		fmt.Printf("wrote manifest for n=%d seed=%d to %s\n", *n, *baseSeed, *savePath)
 		return
 	}
+	plan, err := loadFaults(*faultsPath, *proto)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "d2dsim:", err)
+		os.Exit(1)
+	}
+
 	if *cfgPath != "" {
-		if err := runFromManifest(*cfgPath, *proto, *slotWorkers, *engine, *reportPath, vars); err != nil {
+		if err := runFromManifest(*cfgPath, *proto, *slotWorkers, *engine, *reportPath, plan, vars); err != nil {
 			fmt.Fprintln(os.Stderr, "d2dsim:", err)
 			os.Exit(1)
 		}
@@ -119,7 +129,7 @@ func main() {
 		exp: *exp, sizes: *sizesStr, seeds: *seeds, baseSeed: *baseSeed,
 		n: *n, proto: *proto, maxSlots: *maxSlots,
 		workers: *workers, slotWorkers: *slotWorkers, engine: *engine,
-		csv: *csv, plot: *plot, report: *reportPath, vars: vars,
+		csv: *csv, plot: *plot, report: *reportPath, faults: plan, vars: vars,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "d2dsim:", err)
@@ -145,15 +155,29 @@ type runOpts struct {
 	csv, plot   bool
 	// report, when set, writes the single run's telemetry report there.
 	report string
+	// faults, when non-nil, is the fault plan injected into single runs.
+	faults *faults.Plan
 	// vars, when non-nil, receives live metric updates for -telemetry-addr.
 	vars *telemetry.Vars
+}
+
+// loadFaults reads the -faults plan, if any. The centralized baseline has
+// no distributed topology to repair, so the fault layer rejects it.
+func loadFaults(path, proto string) (*faults.Plan, error) {
+	if path == "" {
+		return nil, nil
+	}
+	if strings.EqualFold(proto, "BS") {
+		return nil, fmt.Errorf("-faults is not supported for the BS baseline (no tree to repair)")
+	}
+	return faults.Load(path)
 }
 
 // runFromManifest executes one protocol run pinned by a JSON manifest.
 // Workers and Engine are throughput knobs, not model parameters, so they are
 // not part of the manifest; the flags apply on top and cannot change the
 // result.
-func runFromManifest(path, proto string, slotWorkers int, engine string, report string, vars *telemetry.Vars) error {
+func runFromManifest(path, proto string, slotWorkers int, engine string, report string, plan *faults.Plan, vars *telemetry.Vars) error {
 	m, err := manifest.Load(path)
 	if err != nil {
 		return err
@@ -164,6 +188,7 @@ func runFromManifest(path, proto string, slotWorkers int, engine string, report 
 	}
 	cfg.Workers = slotWorkers
 	cfg.Engine = engine
+	cfg.Faults = plan
 	telRun := attachTelemetry(&cfg, report, vars)
 	env, err := core.NewEnv(cfg)
 	if err != nil {
@@ -177,6 +202,7 @@ func runFromManifest(path, proto string, slotWorkers int, engine string, report 
 	fmt.Println(res)
 	fmt.Printf("energy: %v\n", res.Energy)
 	printSlotRatio(engine, res)
+	printRecovery(plan, res)
 	recordSingle(vars, cfg.N, res)
 	if report != "" {
 		return writeReport(report, p.Name(), engine, m, telRun, res, env.Transport.Collisions())
@@ -247,7 +273,19 @@ func summarize(res core.Result, collisions uint64) telemetry.ResultSummary {
 		EnergyMJ:         res.Energy.TotalMJ,
 		TreeEdges:        len(res.TreeEdges),
 		TreePhases:       res.TreePhases,
+		Recoveries:       res.Recoveries,
+		RecoverySlots:    res.RecoverySlots,
+		Repairs:          res.Repairs,
 	}
+}
+
+// printRecovery reports the self-healing outcome of a faulted run.
+func printRecovery(plan *faults.Plan, res core.Result) {
+	if plan == nil {
+		return
+	}
+	fmt.Printf("recovery: %d repairs, %d episodes, %d recovery slots\n",
+		res.Repairs, res.Recoveries, res.RecoverySlots)
 }
 
 // printSlotRatio reports how much of the slot span the event engine actually
@@ -351,6 +389,20 @@ func run(o runOpts) error {
 			return err
 		}
 		return emit(experiments.OpsTable(rows))
+	case "recovery":
+		sizes, err := parseSizes(o.sizes)
+		if err != nil {
+			return err
+		}
+		rows, err := experiments.RunRecoverySweep(experiments.Options{
+			Sizes: sizes, Seeds: seeds, BaseSeed: baseSeed,
+			MaxSlots: units.Slot(maxSlots), Workers: o.workers,
+			SlotWorkers: o.slotWorkers, Engine: engine,
+		})
+		if err != nil {
+			return err
+		}
+		return emit(experiments.RecoveryTable(rows))
 	case "energy":
 		rows, err := sweep()
 		if err != nil {
@@ -471,6 +523,7 @@ func run(o runOpts) error {
 		cfg := core.PaperConfig(n, baseSeed)
 		cfg.Workers = o.slotWorkers
 		cfg.Engine = engine
+		cfg.Faults = o.faults
 		if maxSlots > 0 {
 			cfg.MaxSlots = units.Slot(maxSlots)
 		}
@@ -488,6 +541,7 @@ func run(o runOpts) error {
 		fmt.Printf("service discovery: %.1f%%, discovered links: %d\n",
 			100*res.ServiceDiscovery, res.DiscoveredLinks)
 		printSlotRatio(engine, res)
+		printRecovery(o.faults, res)
 		if res.TreeEdges != nil {
 			fmt.Printf("tree: %d edges over %d phases, weight %.1f\n",
 				len(res.TreeEdges), res.TreePhases, res.TreeWeight)

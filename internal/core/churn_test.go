@@ -76,16 +76,34 @@ func TestChurnDeferredUntilTopologyDone(t *testing.T) {
 }
 
 func TestFailSetBoundsChecked(t *testing.T) {
+	// Malformed churn config is a validation error, not a silent no-op.
+	for name, mutate := range map[string]func(*Config){
+		"negative id":    func(c *Config) { c.FailSet = []int{-1, 5} },
+		"id past n":      func(c *Config) { c.FailSet = []int{99} },
+		"duplicate id":   func(c *Config) { c.FailSet = []int{5, 5} },
+		"fail past cap":  func(c *Config) { c.FailAt = c.MaxSlots + 1; c.FailSet = []int{5} },
+		"negative retry": func(c *Config) { c.ConnectRetryLimit = -1 },
+		"negative watch": func(c *Config) { c.WatchdogPeriods = -1 },
+	} {
+		cfg := fastConfig(10, 4)
+		cfg.FailAt = 500
+		mutate(&cfg)
+		if _, err := NewEnv(cfg); err == nil {
+			t.Errorf("%s: config accepted, want validation error", name)
+		}
+	}
+
+	// A well-formed FailSet still works end to end.
 	cfg := fastConfig(10, 4)
 	cfg.FailAt = 500
-	cfg.FailSet = []int{-1, 99, 5} // out-of-range ids ignored
+	cfg.FailSet = []int{5}
 	env := mustEnv(t, cfg)
 	res := ST{}.Run(env)
 	if !res.Converged {
 		t.Fatal("run did not converge")
 	}
 	if env.AliveCount() != 9 {
-		t.Errorf("alive = %d, want 9 (only id 5 valid)", env.AliveCount())
+		t.Errorf("alive = %d, want 9", env.AliveCount())
 	}
 }
 

@@ -21,6 +21,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/geo"
 	"repro/internal/oscillator"
 	"repro/internal/radio"
@@ -196,6 +197,27 @@ type Config struct {
 	// FailSet lists the device ids that fail at FailAt.
 	FailSet []int
 
+	// Faults, when non-nil, attaches a deterministic fault schedule
+	// (internal/faults): node crashes, recoveries, mid-run joins, clock
+	// jumps, burst link outages and a per-message loss rate. Unlike the
+	// one-shot FailAt/FailSet churn, fault actions apply at their scheduled
+	// slots regardless of protocol phase, and the self-healing protocols
+	// repair around them: a parent-liveness watchdog detects dead parents,
+	// orphaned subtrees re-attach through a repair round, and recovered
+	// devices re-join — with convergence judged over the currently-live
+	// set and the recovery time surfaced in Result. The only randomness is
+	// the loss draw, taken from the dedicated "faults" stream in
+	// delivery-list order, so faulted runs stay bit-identical across
+	// engines and worker counts; a nil or empty plan is bit-identical to
+	// no faults layer at all.
+	Faults *faults.Plan
+	// WatchdogPeriods is the parent-liveness watchdog patience: a tree
+	// child presumes its parent dead after the parent has not fired for
+	// this many consecutive periods (0 = the default of 3). Live
+	// oscillators fire at least once per two periods, so any value >= 3
+	// cannot false-positive on a fault-free run.
+	WatchdogPeriods int
+
 	// directGeometry (tests only) disables the transport's link-geometry
 	// cache so the run exercises the direct per-call path — the reference
 	// side of the cached-vs-direct differential suite.
@@ -262,6 +284,33 @@ func (c Config) Validate() error {
 			c.Coupling.Alpha, c.Coupling.Beta)
 	case c.Engine != "" && c.Engine != EngineSlot && c.Engine != EngineEvent:
 		return fmt.Errorf("core: unknown engine %q (want %q or %q)", c.Engine, EngineSlot, EngineEvent)
+	case c.ConnectRetryLimit < 0:
+		return fmt.Errorf("core: ConnectRetryLimit %d < 0", c.ConnectRetryLimit)
+	case c.WatchdogPeriods < 0:
+		return fmt.Errorf("core: WatchdogPeriods %d < 0", c.WatchdogPeriods)
+	case c.FailAt > 0 && c.FailAt > c.MaxSlots:
+		return fmt.Errorf("core: FailAt %d past MaxSlots %d", c.FailAt, c.MaxSlots)
+	}
+	seen := make(map[int]bool, len(c.FailSet))
+	for _, id := range c.FailSet {
+		if id < 0 || id >= c.N {
+			return fmt.Errorf("core: FailSet id %d outside [0,%d)", id, c.N)
+		}
+		if seen[id] {
+			return fmt.Errorf("core: duplicate FailSet id %d", id)
+		}
+		seen[id] = true
+	}
+	if err := c.Faults.Validate(c.N, int64(c.MaxSlots)); err != nil {
+		return err
 	}
 	return nil
+}
+
+// watchdogPeriods resolves the watchdog patience knob to its default.
+func (c Config) watchdogPeriods() int {
+	if c.WatchdogPeriods > 0 {
+		return c.WatchdogPeriods
+	}
+	return 3
 }

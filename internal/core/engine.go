@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/device"
+	"repro/internal/faults"
 	"repro/internal/oscillator"
 	"repro/internal/rach"
 	"repro/internal/telemetry"
@@ -97,8 +98,14 @@ func (p *workerPool) close() { close(p.tasks) }
 type engine struct {
 	env     *Env
 	pool    *workerPool
-	ev      *eventEngine    // non-nil when Config.Engine selects EngineEvent
-	service func(int) int   // sender -> service tag, hoisted off the hot path
+	ev      *eventEngine  // non-nil when Config.Engine selects EngineEvent
+	service func(int) int // sender -> service tag, hoisted off the hot path
+
+	// flt is the compiled fault schedule (nil disables the layer); the
+	// cached fltFilters flag keeps the per-delivery drop check off the hot
+	// path for plans with neither outages nor loss.
+	flt        *faults.Injector
+	fltFilters bool
 
 	// Telemetry probe hooks, set by the protocol before its loop starts:
 	// fragFn reports the current fragment/component count, protoTx the
@@ -107,6 +114,9 @@ type engine struct {
 	// at sampling boundaries, never on the per-slot hot path.
 	fragFn  func() int
 	protoTx func() uint64
+	// repairFn reports the protocol's completed self-healing rounds for
+	// the telemetry sample (nil = 0).
+	repairFn func() int
 	// phasesBuf is the reusable alive-phase snapshot sampling reads.
 	phasesBuf []float64
 
@@ -155,7 +165,8 @@ func engineWorkers(cfg Config) int {
 // streams or a stateless link sampler); otherwise the engine runs the
 // sequential loop.
 func newEngine(env *Env) *engine {
-	e := &engine{env: env}
+	e := &engine{env: env, flt: env.Faults}
+	e.fltFilters = e.flt != nil && e.flt.Filters()
 	e.service = func(sender int) int { return int(env.Devices[sender].Service) }
 	if env.Cfg.Engine == EngineEvent {
 		e.ev = newEventEngine(e)
@@ -235,6 +246,10 @@ func (e *engine) sample(slot units.Slot) telemetry.Sample {
 	if e.protoTx != nil {
 		extra = e.protoTx()
 	}
+	repairs := 0
+	if e.repairFn != nil {
+		repairs = e.repairFn()
+	}
 	tc := env.Transport.Counters()
 	return telemetry.Sample{
 		Slot:        slot,
@@ -244,6 +259,8 @@ func (e *engine) sample(slot units.Slot) telemetry.Sample {
 		Fragments:   frags,
 		RachTx:      tc.TotalTx() + extra,
 		Collisions:  env.Transport.Collisions(),
+		Alive:       len(buf),
+		Repairs:     repairs,
 	}
 }
 
@@ -261,10 +278,19 @@ const slotHorizonNone = units.Slot(1<<63 - 1)
 // consumed (only non-empty fire waves draw), and no protocol or trace hook
 // runs.
 func (e *engine) nextStep(after units.Slot) units.Slot {
-	if e.ev == nil {
-		return after + 1
+	next := after + 1
+	if e.ev != nil {
+		next = e.ev.nextAfter(after)
 	}
-	return e.ev.nextAfter(after)
+	// Fault-action boundaries fold into the horizon like telemetry
+	// sampling boundaries do: the event engine must step the slot a
+	// crash/recover/join/jump is scheduled at even if no fire lands there.
+	if e.flt != nil {
+		if at, ok := e.flt.NextBoundary(after); ok && at < next {
+			next = at
+		}
+	}
+	return next
 }
 
 // materialize catches device i's lazily advanced oscillator up to slot,
@@ -375,6 +401,9 @@ func (e *engine) stepParallel(slot units.Slot, couples couplingRule, opsPerPulse
 			e.scratch[w] = sc
 		})
 		dels := plan.Resolve()
+		if e.fltFilters {
+			dels = filterFaultDeliveries(e.flt, dels, slot)
+		}
 
 		// Phase C: apply deliveries, sharded over receiver runs so each
 		// receiver's state belongs to exactly one worker and is updated

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/device"
+	"repro/internal/faults"
 	"repro/internal/geo"
 	"repro/internal/graph"
 	"repro/internal/oscillator"
@@ -24,6 +25,10 @@ type Env struct {
 	Devices   []*device.Device
 	// Alive tracks powered-on devices; churn injection clears entries.
 	Alive []bool
+	// Faults is the compiled fault schedule (nil when Cfg.Faults is nil).
+	// The engines consult it for delivery filtering and the protocols pop
+	// its membership/clock actions at their scheduled slots.
+	Faults *faults.Injector
 }
 
 // AliveCount returns the number of powered-on devices.
@@ -146,7 +151,17 @@ func newEnv(cfg Config, positions []geo.Point) (*Env, error) {
 	for i := range alive {
 		alive[i] = true
 	}
-	return &Env{Cfg: cfg, Streams: streams, Channel: ch, Transport: tr, Devices: devs, Alive: alive}, nil
+	// The fault schedule compiles once per env; joining devices are absent
+	// from the start. The loss stream is name-hashed like every other, so
+	// fetching it does not perturb the rest of the draw sequences.
+	var inj *faults.Injector
+	if cfg.Faults != nil {
+		inj = faults.NewInjector(cfg.Faults, streams.Get("faults"))
+		for _, id := range inj.InitialDead() {
+			alive[id] = false
+		}
+	}
+	return &Env{Cfg: cfg, Streams: streams, Channel: ch, Transport: tr, Devices: devs, Alive: alive, Faults: inj}, nil
 }
 
 // ReferenceGraph builds the deterministic (zero-fading) proximity graph

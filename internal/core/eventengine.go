@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/device"
 	"repro/internal/eventsim"
+	"repro/internal/faults"
 	"repro/internal/rach"
 	"repro/internal/units"
 )
@@ -41,6 +42,10 @@ type eventEngine struct {
 	service func(int) int
 	fq      *eventsim.FireQueue
 
+	// Fault-layer delivery filtering, mirroring the slot engine's fields.
+	flt        *faults.Injector
+	fltFilters bool
+
 	// Reused buffers, mirroring the sequential engine's.
 	fired []int
 	waves [2][]int
@@ -56,10 +61,12 @@ type eventEngine struct {
 func newEventEngine(e *engine) *eventEngine {
 	env := e.env
 	ev := &eventEngine{
-		env:       env,
-		service:   e.service,
-		fq:        eventsim.NewFireQueue(len(env.Devices)),
-		dirtySlot: make([]units.Slot, len(env.Devices)),
+		env:        env,
+		service:    e.service,
+		fq:         eventsim.NewFireQueue(len(env.Devices)),
+		dirtySlot:  make([]units.Slot, len(env.Devices)),
+		flt:        env.Faults,
+		fltFilters: env.Faults != nil && env.Faults.Filters(),
 	}
 	for i, d := range env.Devices {
 		if !env.Alive[i] {
@@ -127,7 +134,11 @@ func (ev *eventEngine) step(slot units.Slot, couples couplingRule, opsPerPulse u
 		buf := waveBuf
 		waveBuf ^= 1
 		next := ev.waves[buf][:0]
-		for _, del := range env.Transport.BroadcastAll(wave, rach.RACH1, rach.KindPulse, ev.service, slot) {
+		dels := env.Transport.BroadcastAll(wave, rach.RACH1, rach.KindPulse, ev.service, slot)
+		if ev.fltFilters {
+			dels = filterFaultDeliveries(ev.flt, dels, slot)
+		}
+		for _, del := range dels {
 			if !env.Alive[del.To] {
 				continue // powered-off receivers hear nothing
 			}

@@ -29,6 +29,13 @@ import (
 // Like ST, a node joining the tree adopts the tree's phase through the join
 // handshake (sync-word adoption), and pulse coupling runs along tree edges
 // to hold the structure locked.
+//
+// Under a fault plan (Config.Faults) the baseline self-heals the only way
+// its sequential machinery allows: the watchdog presumes silent members
+// dead, the tree is pruned to the component still containing its lowest-id
+// live member, and every evicted survivor (and recovered device) re-joins
+// one RACH opportunity at a time — the same O(n)-flavoured growth loop,
+// now paid again per healing round.
 type FST struct{}
 
 // Name implements Protocol.
@@ -60,30 +67,124 @@ func (FST) Run(env *Env) Result {
 
 	eng := newEngine(env)
 	defer eng.close()
+
+	// Fault-layer state, allocated only when a plan is active so the
+	// fault-free path stays byte-identical to the seed behaviour. The
+	// baseline tracks its tree as parent pointers so the healing prune
+	// can find the component that keeps the root.
+	flt := env.Faults
+	aliveCnt := cfg.N
+	joinedLive := 0
+	var (
+		parent       []int
+		lastFired    []units.Slot
+		presumedDead []bool
+		healing      bool // tree structurally stale; gate run exit until healed
+		pruned       bool // a restructure rewired the tree at least once
+		synced       bool
+		episodeOpen  bool
+		episodeStart units.Slot
+		nextWatch    units.Slot = slotHorizonNone
+		watchSlots   units.Slot
+	)
+	if flt != nil {
+		aliveCnt = env.AliveCount()
+		parent = make([]int, cfg.N)
+		for i := range parent {
+			parent[i] = -1
+		}
+		lastFired = make([]units.Slot, cfg.N)
+		presumedDead = make([]bool, cfg.N)
+		watchSlots = units.Slot(cfg.watchdogPeriods() * cfg.PeriodSlots)
+		nextWatch = units.Slot(cfg.PeriodSlots)
+		// The plan may hold devices down from slot 0 (join actions):
+		// synchrony is judged over the initially-live set.
+		det = oscillator.NewSyncDetector(aliveCnt, cfg.SyncWindowSlots, cfg.StableRounds)
+	}
+
 	// Telemetry probes: the unjoined devices each form their own component
 	// beside the single growing tree; join handshakes are charged to the
 	// protocol's counters, not the transport's.
 	eng.fragFn = func() int {
-		if joined == 0 {
-			return cfg.N
+		if flt == nil {
+			if joined == 0 {
+				return cfg.N
+			}
+			return 1 + cfg.N - joined
 		}
-		return 1 + cfg.N - joined
+		if joined == 0 {
+			return env.AliveCount()
+		}
+		return 1 + env.AliveCount() - joinedLive
 	}
 	eng.protoTx = func() uint64 { return res.Counters.TotalTx() }
+	eng.repairFn = func() int { return res.Repairs }
+	finalSlot := cfg.MaxSlots
 	var slot units.Slot
 	for slot = 1; slot <= cfg.MaxSlots; {
 		fired := eng.stepSlot(slot, couples, opsPerPulse, &res.Ops)
+		if flt != nil {
+			for _, f := range fired {
+				lastFired[f] = slot
+			}
+			if ap := eng.applyFaults(slot); ap.any() {
+				if synced && !episodeOpen {
+					episodeOpen, episodeStart = true, slot
+				}
+				synced = false
+				aliveCnt = env.AliveCount()
+				det = oscillator.NewSyncDetector(aliveCnt, cfg.SyncWindowSlots, cfg.StableRounds)
+				restructure := false
+				for _, d := range ap.crashed {
+					if inTree[d] {
+						// The corpse stays in the tree until the
+						// watchdog presumes it; only the live-member
+						// count drops now.
+						joinedLive--
+						healing = true
+					}
+				}
+				for _, d := range ap.recovered {
+					presumedDead[d] = false
+					lastFired[d] = slot
+					if inTree[d] {
+						// A rebooted member's old attachment is stale:
+						// prune it (and anything it orphaned) back out
+						// so it re-joins from scratch.
+						restructure = true
+					}
+					healing = true
+				}
+				if restructure {
+					joined, joinedLive = fstRestructure(env, inTree, parent, presumedDead)
+					pruned = true
+				}
+				// Re-aim the join cadence if it went stale while the
+				// tree was complete: re-joins must run at slots both
+				// engines provably step.
+				if joinedLive < aliveCnt && nextRound <= slot {
+					nextRound = slot + roundSlots
+				}
+			}
+		}
 
 		// One join attempt per RACH opportunity.
-		if slot >= nextRound && joined < cfg.N {
+		if slot >= nextRound && joinedLive < aliveCnt && (flt != nil || joined < cfg.N) {
 			nextRound = slot + roundSlots
 			if joined == 0 {
-				// The root seeds the tree: by convention the
+				// The root seeds the tree: by convention the live
 				// device with the lowest id.
-				inTree[0] = true
+				r := 0
+				if flt != nil {
+					for !env.Alive[r] {
+						r++
+					}
+				}
+				inTree[r] = true
 				joined = 1
+				joinedLive = 1
 			}
-			u, v, ok := fstBestOutgoing(env, inTree, &res.Ops)
+			u, v, ok := fstBestOutgoing(env, inTree, flt != nil, &res.Ops)
 			if ok {
 				// Join handshake on the single codec: probe and
 				// accept, with channel retries.
@@ -93,6 +194,10 @@ func (FST) Run(env *Env) Result {
 				res.Counters.Rx[rach.RACH1] += 2
 				inTree[v] = true
 				joined++
+				joinedLive++
+				if parent != nil {
+					parent[v] = u
+				}
 				treeEdges = append(treeEdges, graph.Edge{U: u, V: v, Weight: fstLinkWeight(env, u, v)})
 				cfg.emit(trace.Event{Slot: slot, Kind: trace.KindJoin, A: u, B: v})
 				// Sync-word adoption: the joiner aligns to the tree.
@@ -103,29 +208,77 @@ func (FST) Run(env *Env) Result {
 			}
 		}
 
+		// Parent-liveness watchdog: presume silent members dead at period
+		// boundaries and prune the tree around them.
+		if flt != nil && slot >= nextWatch {
+			nextWatch = slot + units.Slot(cfg.PeriodSlots)
+			restructure := false
+			for d, lf := range lastFired {
+				if lf > 0 && !presumedDead[d] && slot-lf > watchSlots {
+					presumedDead[d] = true
+					if inTree[d] {
+						restructure = true
+						healing = true
+					}
+				}
+			}
+			if restructure {
+				joined, joinedLive = fstRestructure(env, inTree, parent, presumedDead)
+				pruned = true
+				if joinedLive < aliveCnt && nextRound <= slot {
+					nextRound = slot + roundSlots
+				}
+			}
+		}
+
+		// A healing round completes when the pruned tree has grown back
+		// over every live device.
+		if flt != nil && healing && joined > 0 && joinedLive == aliveCnt {
+			healing = false
+			res.Repairs++
+			cfg.emit(trace.Event{Slot: slot, Kind: trace.KindRepair, A: res.Repairs, B: aliveCnt})
+			if synced && !episodeOpen {
+				episodeOpen, episodeStart = true, slot
+			}
+			synced = false
+			det = oscillator.NewSyncDetector(aliveCnt, cfg.SyncWindowSlots, cfg.StableRounds)
+		}
+
 		// Post-setup churn (see Config.FailAt).
 		if cfg.FailAt > 0 && !churned && slot >= cfg.FailAt && joined == cfg.N {
 			env.Fail()
 			churned = true
 			eng.dropFailed()
 			det = oscillator.NewSyncDetector(env.AliveCount(), cfg.SyncWindowSlots, cfg.StableRounds)
+			synced = false
 			for _, id := range cfg.FailSet {
 				cfg.emit(trace.Event{Slot: slot, Kind: trace.KindChurn, A: id, B: -1})
 			}
 		}
 
-		// Synchrony only counts once the tree spans every device.
-		if joined == cfg.N {
+		// Synchrony only counts once the tree spans every live device and
+		// no healing is outstanding.
+		if joined > 0 && joinedLive == aliveCnt && !healing && (flt != nil || joined == cfg.N) {
 			for range fired {
-				if det.OnFire(int64(slot)) {
-					res.Converged = true
+				if det.OnFire(int64(slot)) && !synced {
+					synced = true
+					_, at := det.Synced()
+					syncedAt := units.Slot(at)
+					if !res.Converged {
+						res.Converged = true
+						res.ConvergenceSlots = syncedAt
+						cfg.emit(trace.Event{Slot: res.ConvergenceSlots, Kind: trace.KindConverge, A: -1, B: -1})
+					}
+					if episodeOpen {
+						episodeOpen = false
+						res.Recoveries++
+						res.RecoverySlots += syncedAt - episodeStart
+					}
 				}
 			}
 		}
-		if res.Converged {
-			_, at := det.Synced()
-			res.ConvergenceSlots = units.Slot(at)
-			cfg.emit(trace.Event{Slot: res.ConvergenceSlots, Kind: trace.KindConverge, A: -1, B: -1})
+		if synced && (flt == nil || (!healing && !flt.Pending())) {
+			finalSlot = slot
 			break
 		}
 
@@ -133,17 +286,16 @@ func (FST) Run(env *Env) Result {
 		// engines; the next scheduled fire or trace boundary for the event
 		// engine) min-folded with the protocol's own timers.
 		next := eng.nextStep(slot)
-		if joined < cfg.N && nextRound < next {
+		if joinedLive < aliveCnt && nextRound > slot && nextRound < next {
 			next = nextRound
+		}
+		if nextWatch < next {
+			next = nextWatch
 		}
 		if cfg.FailAt > 0 && !churned && cfg.FailAt > slot && cfg.FailAt < next {
 			next = cfg.FailAt
 		}
 		slot = next
-	}
-	finalSlot := cfg.MaxSlots
-	if res.Converged {
-		finalSlot = slot
 	}
 	eng.finish(finalSlot)
 	if !res.Converged {
@@ -155,6 +307,16 @@ func (FST) Run(env *Env) Result {
 	res.Counters.Tx[rach.RACH1] += tc.Tx[rach.RACH1]
 	res.Counters.Rx[rach.RACH1] += tc.Rx[rach.RACH1]
 	res.Counters.TxBytes[rach.RACH1] += tc.TxBytes[rach.RACH1]
+	if pruned {
+		// Healing rounds made the join log stale; derive the final tree
+		// from the surviving parent pointers instead.
+		treeEdges = treeEdges[:0]
+		for v, u := range parent {
+			if inTree[v] && u >= 0 {
+				treeEdges = append(treeEdges, graph.Edge{U: u, V: v, Weight: fstLinkWeight(env, u, v)})
+			}
+		}
+	}
 	res.TreeEdges = treeEdges
 	res.TreeWeight = graph.TotalWeight(treeEdges)
 	res.Energy = energy.LTEDefaults().Charge(res.Counters, cfg.N, res.ConvergenceSlots)
@@ -179,11 +341,19 @@ func fstLinkWeight(env *Env, u, v int) float64 {
 // outsider's view toward tree members) for the heaviest edge leaving the
 // tree, ranked by the *latest* RSSI sample. The scan work is charged to the
 // ops counter — this is the baseline's O(n²)-flavoured per-round cost.
-func fstBestOutgoing(env *Env, inTree []bool, ops *uint64) (u, v int, ok bool) {
+// With liveOnly set (a fault plan is active) powered-off devices neither
+// scan nor qualify as endpoints.
+func fstBestOutgoing(env *Env, inTree []bool, liveOnly bool, ops *uint64) (u, v int, ok bool) {
 	best := -1e18
 	for i, d := range env.Devices {
+		if liveOnly && !env.Alive[i] {
+			continue
+		}
 		*ops += uint64(len(d.DiscoveredPeers))
 		for peer, stat := range d.DiscoveredPeers {
+			if liveOnly && !env.Alive[peer] {
+				continue
+			}
 			var tu, tv int
 			switch {
 			case inTree[i] && !inTree[peer]:
@@ -202,4 +372,71 @@ func fstBestOutgoing(env *Env, inTree []bool, ops *uint64) (u, v int, ok bool) {
 		}
 	}
 	return u, v, ok
+}
+
+// fstRestructure prunes the baseline's join tree after membership changed:
+// dead and presumed-dead members leave, and every member no longer
+// connected — through live members only — to the component containing the
+// lowest-id live member is evicted to re-join from scratch. The kept
+// component is re-rooted there (BFS over the surviving parent edges), so
+// parent pointers stay consistent for the next prune. Returns the new
+// joined/joinedLive counts (equal: every kept member is live).
+func fstRestructure(env *Env, inTree []bool, parent []int, presumed []bool) (joined, joinedLive int) {
+	n := len(inTree)
+	live := func(i int) bool { return inTree[i] && env.Alive[i] && !presumed[i] }
+	root := -1
+	for i := 0; i < n; i++ {
+		if live(i) {
+			root = i
+			break
+		}
+	}
+	if root < 0 {
+		// No live member survives: dissolve the tree entirely; the join
+		// loop re-seeds it.
+		for i := range inTree {
+			inTree[i] = false
+			parent[i] = -1
+		}
+		return 0, 0
+	}
+	// Undirected adjacency over parent edges whose both endpoints are
+	// live members; BFS from the lowest-id live member re-roots the kept
+	// component.
+	adj := make([][]int, n)
+	for v := 0; v < n; v++ {
+		if u := parent[v]; u >= 0 && live(v) && live(u) {
+			adj[v] = append(adj[v], u)
+			adj[u] = append(adj[u], v)
+		}
+	}
+	keep := make([]bool, n)
+	keep[root] = true
+	queue := []int{root}
+	newParent := make([]int, n)
+	for i := range newParent {
+		newParent[i] = -1
+	}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, y := range adj[x] {
+			if !keep[y] {
+				keep[y] = true
+				newParent[y] = x
+				queue = append(queue, y)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if keep[i] {
+			parent[i] = newParent[i]
+			joined++
+			joinedLive++
+		} else {
+			inTree[i] = false
+			parent[i] = -1
+		}
+	}
+	return joined, joinedLive
 }

@@ -52,7 +52,11 @@ func (e *engine) stepSequential(slot units.Slot, couples couplingRule, opsPerPul
 		buf := waveBuf
 		waveBuf ^= 1
 		next := e.waves[buf][:0]
-		for _, del := range env.Transport.BroadcastAll(wave, rach.RACH1, rach.KindPulse, e.service, slot) {
+		dels := env.Transport.BroadcastAll(wave, rach.RACH1, rach.KindPulse, e.service, slot)
+		if e.fltFilters {
+			dels = filterFaultDeliveries(e.flt, dels, slot)
+		}
+		for _, del := range dels {
 			if !env.Alive[del.To] {
 				continue // powered-off receivers hear nothing
 			}
@@ -83,10 +87,14 @@ func (e *engine) stepSequential(slot units.Slot, couples couplingRule, opsPerPul
 }
 
 // countDiscoveredLinks tallies the directed neighbour-table entries across
-// all devices.
+// alive devices — a powered-off device's stale table is not discovery
+// coverage the network currently holds.
 func countDiscoveredLinks(env *Env) int {
 	total := 0
-	for _, d := range env.Devices {
+	for i, d := range env.Devices {
+		if !env.Alive[i] {
+			continue
+		}
 		total += len(d.DiscoveredPeers)
 	}
 	return total

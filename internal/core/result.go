@@ -56,6 +56,18 @@ type Result struct {
 	// ServiceDiscovery is the fraction of reachable same-service pairs
 	// that found each other (application-level discovery).
 	ServiceDiscovery float64
+
+	// Repairs counts completed self-healing rounds: orphaned subtrees
+	// re-attached (and recovered devices re-joined) after fault-plan
+	// membership changes. Zero without a fault plan.
+	Repairs int
+	// Recoveries counts re-convergence episodes: each time the live set
+	// re-reached synchrony after fault activity disturbed it.
+	Recoveries int
+	// RecoverySlots is the cumulative recovery time — slots from each
+	// disturbance (the episode's first fault event) to the re-convergence
+	// closing it, summed over Recoveries episodes.
+	RecoverySlots units.Slot
 }
 
 // String implements fmt.Stringer with the headline numbers.

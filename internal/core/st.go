@@ -29,7 +29,23 @@ import (
 //
 // Each processed pulse is charged the ordered-structure ranking cost of
 // O(log n) (Algorithm 3's sorted population), versus FST's O(n) scan.
+//
+// Under a fault plan (Config.Faults) the protocol self-heals: a
+// parent-liveness watchdog presumes a device dead after it misses
+// Config.WatchdogPeriods' worth of expected pulses, and a repair round
+// rebuilds the spanning forest over the live set — the surviving subtrees
+// are preseeded into a fresh merge protocol for free and the orphaned
+// pieces (and recovered devices) re-attach through the normal H_Connect
+// machinery at the normal message cost. Convergence is then judged over
+// the currently-live set, and each disturbance-to-re-synchrony episode is
+// accounted in Result.Recoveries/RecoverySlots.
 type ST struct{}
+
+// maxRepairTries bounds consecutive failed repair rounds (the live set
+// still partitioned after a repair completes). Discovery keeps
+// accumulating links while the run continues, so a retry sees a fresh
+// snapshot; after the budget the survivors are genuinely disconnected.
+const maxRepairTries = 3
 
 // Name implements Protocol.
 func (ST) Name() string { return "ST" }
@@ -41,7 +57,8 @@ func (ST) Run(env *Env) Result {
 	det := oscillator.NewSyncDetector(cfg.N, cfg.SyncWindowSlots, cfg.StableRounds)
 	opsPerPulse := log2ceil(cfg.N)
 
-	var tree *ghs.Protocol // nil until discovery completes
+	var tree *ghs.Protocol   // nil until discovery completes
+	var repair *ghs.Protocol // non-nil while a self-healing round runs
 	rach2 := func(kind ghs.MessageKind, from, to, transmissions int) {
 		// Charge the merge-protocol traffic to the RACH2 counters.
 		res.Counters.Tx[rach.RACH2] += uint64(transmissions)
@@ -81,59 +98,226 @@ func (ST) Run(env *Env) Result {
 
 	eng := newEngine(env)
 	defer eng.close()
+
+	// Fault-layer state, allocated only when a plan is active so the
+	// fault-free path stays byte-identical to the seed behaviour.
+	flt := env.Faults
+	var (
+		lastFired    []units.Slot // per-device slot of the last heard fire
+		presumedDead []bool       // watchdog verdicts
+		rebooted     []bool       // crashed-then-recovered: pre-crash tree edges are stale
+		repairArmed  bool         // a repair round is scheduled
+		awaitRepair  bool         // membership changed under a built tree; gate run exit
+		repairTries  int
+		synced       bool // current live set holds detected synchrony
+		episodeOpen  bool
+		episodeStart units.Slot
+		nextWatch    units.Slot = slotHorizonNone
+		watchSlots   units.Slot
+	)
+	if flt != nil {
+		lastFired = make([]units.Slot, cfg.N)
+		presumedDead = make([]bool, cfg.N)
+		rebooted = make([]bool, cfg.N)
+		watchSlots = units.Slot(cfg.watchdogPeriods() * cfg.PeriodSlots)
+		nextWatch = units.Slot(cfg.PeriodSlots)
+		// The plan may hold devices down from slot 0 (join actions):
+		// synchrony is judged over the initially-live set.
+		det = oscillator.NewSyncDetector(env.AliveCount(), cfg.SyncWindowSlots, cfg.StableRounds)
+	}
+
+	// Sync-word phase adoption (MEMFIS-style, the paper's ref [14]): the
+	// fragment whose head is replaced aligns its clocks to the surviving
+	// fragment's boundary node through the H_Connect exchange; the
+	// decision flood (already charged) carries the adjustment down the
+	// subtree. Tree coupling then keeps the merged fragment locked. The
+	// closure reads the loop's slot variable: it only fires inside
+	// tree.Step()/repair.Step() below, at the merge boundary being
+	// executed. Dead members are skipped — a corpse has no clock to
+	// adopt with, and touching its frozen oscillator would diverge the
+	// lazy event engine from the slot engines.
+	var slot units.Slot
+	adopt := func(edge graph.Edge, winnerBoundary int, adopting []int) {
+		if env.Alive[winnerBoundary] {
+			eng.materialize(winnerBoundary, slot)
+			ref := env.Devices[winnerBoundary].Osc.Phase
+			for _, m := range adopting {
+				if !env.Alive[m] {
+					continue
+				}
+				eng.materialize(m, slot)
+				env.Devices[m].Osc.Phase = ref
+				eng.phaseWritten(m, slot)
+			}
+		}
+		cfg.emit(trace.Event{Slot: slot, Kind: trace.KindMerge, A: edge.U, B: edge.V})
+	}
+
 	// Telemetry probes: fragment count from the merge protocol's
-	// union-find (every device is its own fragment until discovery ends);
+	// union-find (every device is its own fragment until discovery ends),
+	// restricted to fragments with a live member under a fault plan;
 	// RACH2 merge traffic is charged to the protocol's counters.
 	eng.fragFn = func() int {
-		if tree == nil {
-			return cfg.N
+		if flt == nil {
+			if tree == nil {
+				return cfg.N
+			}
+			return tree.Fragments()
 		}
-		return tree.Fragments()
+		if frag == nil {
+			return env.AliveCount()
+		}
+		return liveFragments(env, frag)
 	}
 	eng.protoTx = func() uint64 { return res.Counters.TotalTx() }
+	eng.repairFn = func() int { return res.Repairs }
 	finalSlot := cfg.MaxSlots
-	var slot units.Slot
 	for slot = 1; slot <= cfg.MaxSlots; {
 		fired := eng.stepSlot(slot, couples, opsPerPulse, &res.Ops)
-
-		// Merge phases run at period boundaries once discovery is done.
-		if slot >= nextMerge && (tree == nil || !tree.Done()) {
-			if tree == nil {
-				tree = ghs.NewProtocol(ghs.Config{
-					Neighbors:  snapshotNeighbors(env),
-					OnMessage:  rach2,
-					LinkTrials: env.linkTrials,
-					// Sync-word phase adoption (MEMFIS-style, the
-					// paper's ref [14]): the fragment whose head is
-					// replaced aligns its clocks to the surviving
-					// fragment's boundary node through the H_Connect
-					// exchange; the decision flood (already charged)
-					// carries the adjustment down the subtree. Tree
-					// coupling then keeps the merged fragment locked.
-					// The closure reads the loop's slot variable: it
-					// only fires inside tree.Step() below, where slot
-					// is the merge boundary being executed.
-					OnMerge: func(edge graph.Edge, winnerBoundary int, adopting []int) {
-						eng.materialize(winnerBoundary, slot)
-						ref := env.Devices[winnerBoundary].Osc.Phase
-						for _, m := range adopting {
-							eng.materialize(m, slot)
-							env.Devices[m].Osc.Phase = ref
-							eng.phaseWritten(m, slot)
-						}
-						cfg.emit(trace.Event{Slot: slot, Kind: trace.KindMerge, A: edge.U, B: edge.V})
-					},
-				})
+		if flt != nil {
+			for _, f := range fired {
+				lastFired[f] = slot
 			}
-			tree.Step()
-			frag = tree.FragmentIDs(frag)
-			nextMerge = slot + mergeInterval
-			if tree.Done() && tree.Fragments() > 1 {
-				// The discovered graph is disconnected: network-wide
-				// synchrony is impossible; report non-convergence
-				// instead of burning the slot budget.
-				finalSlot = slot
-				break
+			if ap := eng.applyFaults(slot); ap.any() {
+				// Membership or clocks changed: synchrony must be
+				// re-established over the new live set. An episode
+				// opens only when detected synchrony was actually
+				// disturbed — re-convergence closes it below.
+				if synced && !episodeOpen {
+					episodeOpen, episodeStart = true, slot
+				}
+				synced = false
+				det = oscillator.NewSyncDetector(env.AliveCount(), cfg.SyncWindowSlots, cfg.StableRounds)
+				for _, d := range ap.recovered {
+					rebooted[d] = true
+					presumedDead[d] = false
+					lastFired[d] = slot
+					if tree != nil {
+						awaitRepair = true
+						if !repairArmed {
+							repairArmed, repairTries = true, 0
+						}
+						// Re-aim the merge cadence if it went stale after
+						// the initial build: repair rounds must run at
+						// slots both engines provably step.
+						if nextMerge <= slot {
+							nextMerge = slot + mergeInterval
+						}
+					}
+				}
+				if len(ap.crashed) > 0 && tree != nil {
+					awaitRepair = true
+				}
+			}
+		}
+
+		// Merge phases run at period boundaries once discovery is done;
+		// the same cadence drives self-healing repair rounds.
+		if slot >= nextMerge && (tree == nil || !tree.Done() || repairArmed) {
+			if tree == nil || !tree.Done() {
+				if tree == nil {
+					tree = ghs.NewProtocol(ghs.Config{
+						Neighbors:  snapshotNeighbors(env),
+						OnMessage:  rach2,
+						LinkTrials: env.linkTrials,
+						OnMerge:    adopt,
+					})
+				}
+				tree.Step()
+				frag = tree.FragmentIDs(frag)
+				nextMerge = slot + mergeInterval
+				if tree.Done() && tree.Fragments() > 1 {
+					if flt == nil {
+						// The discovered graph is disconnected:
+						// network-wide synchrony is impossible; report
+						// non-convergence instead of burning the slot
+						// budget.
+						finalSlot = slot
+						break
+					}
+					// Under a fault plan only a *live* partition with no
+					// pending fault activity or repair is hopeless —
+					// fragments of dead devices re-attach via repair
+					// when (if) they recover.
+					if liveFragments(env, frag) > 1 && !flt.Pending() && !repairArmed && !awaitRepair {
+						finalSlot = slot
+						break
+					}
+				}
+			} else {
+				// Self-healing round: a fresh merge protocol over the
+				// live devices' discovered links, preseeded with the
+				// surviving tree edges (stale edges of dead, presumed
+				// and rebooted devices excluded) so only the orphaned
+				// pieces pay re-attachment traffic.
+				if repair == nil {
+					repair = ghs.NewProtocol(ghs.Config{
+						Neighbors:  snapshotLiveNeighbors(env, presumedDead),
+						OnMessage:  rach2,
+						LinkTrials: env.linkTrials,
+						OnMerge:    adopt,
+					})
+					repair.Preseed(survivingEdges(env, tree, presumedDead, rebooted))
+				}
+				repair.Step()
+				frag = repair.FragmentIDs(frag)
+				nextMerge = slot + mergeInterval
+				if repair.Done() {
+					if liveFragments(env, frag) == 1 {
+						tree, repair = repair, nil
+						repairArmed, awaitRepair = false, false
+						for i := range rebooted {
+							rebooted[i] = false
+						}
+						res.Repairs++
+						cfg.emit(trace.Event{Slot: slot, Kind: trace.KindRepair, A: res.Repairs, B: env.AliveCount()})
+						// Re-attachment rewired phases; re-arm detection
+						// over the healed membership.
+						if synced && !episodeOpen {
+							episodeOpen, episodeStart = true, slot
+						}
+						synced = false
+						det = oscillator.NewSyncDetector(env.AliveCount(), cfg.SyncWindowSlots, cfg.StableRounds)
+					} else {
+						// Live set still partitioned: drop this attempt
+						// and retry on a fresh snapshot — ongoing PS
+						// traffic may discover the missing link.
+						repair = nil
+						repairTries++
+						if repairTries >= maxRepairTries {
+							if !flt.Pending() {
+								finalSlot = slot
+								break
+							}
+							// Pending fault activity may change the
+							// picture; stand down until it does.
+							repairArmed = false
+						}
+					}
+				}
+			}
+		}
+
+		// Parent-liveness watchdog: at every period boundary, presume
+		// dead any device that has been silent for the full patience
+		// window after having been heard at least once (a live oscillator
+		// fires at most two periods apart, so the default three-period
+		// patience cannot false-positive), and arm a repair round.
+		if flt != nil && slot >= nextWatch {
+			nextWatch = slot + units.Slot(cfg.PeriodSlots)
+			for d, lf := range lastFired {
+				if lf > 0 && !presumedDead[d] && slot-lf > watchSlots {
+					presumedDead[d] = true
+					if !repairArmed {
+						repairArmed, repairTries = true, 0
+					}
+					if tree != nil {
+						awaitRepair = true
+					}
+					if nextMerge <= slot {
+						nextMerge = slot + mergeInterval
+					}
+				}
 			}
 		}
 
@@ -145,33 +329,47 @@ func (ST) Run(env *Env) Result {
 			churned = true
 			eng.dropFailed()
 			det = oscillator.NewSyncDetector(env.AliveCount(), cfg.SyncWindowSlots, cfg.StableRounds)
+			synced = false
 			for _, id := range cfg.FailSet {
 				cfg.emit(trace.Event{Slot: slot, Kind: trace.KindChurn, A: id, B: -1})
 			}
 		}
 
-		// Synchrony only counts once the forest is complete: a lone
-		// fragment firing together is not network-wide convergence.
-		if tree != nil && tree.Done() {
+		// Synchrony only counts once the forest is complete and no
+		// repair is pending: a lone fragment firing together is not
+		// network-wide convergence.
+		if tree != nil && tree.Done() && repair == nil && !repairArmed {
 			for range fired {
-				if det.OnFire(int64(slot)) {
-					res.Converged = true
+				if det.OnFire(int64(slot)) && !synced {
+					synced = true
+					_, at := det.Synced()
+					syncedAt := units.Slot(at)
+					if !res.Converged {
+						res.Converged = true
+						res.ConvergenceSlots = syncedAt
+						cfg.emit(trace.Event{Slot: res.ConvergenceSlots, Kind: trace.KindConverge, A: -1, B: -1})
+					}
+					if episodeOpen {
+						episodeOpen = false
+						res.Recoveries++
+						res.RecoverySlots += syncedAt - episodeStart
+					}
 				}
 			}
 		}
-		if res.Converged {
-			_, at := det.Synced()
-			res.ConvergenceSlots = units.Slot(at)
+		if synced && (flt == nil || (!awaitRepair && !repairArmed && !flt.Pending())) {
 			finalSlot = slot
-			cfg.emit(trace.Event{Slot: res.ConvergenceSlots, Kind: trace.KindConverge, A: -1, B: -1})
 			break
 		}
 
 		// Next slot to step: the engine's horizon min-folded with the
-		// protocol's merge cadence and churn timer.
+		// protocol's merge cadence, watchdog boundary and churn timer.
 		next := eng.nextStep(slot)
-		if (tree == nil || !tree.Done()) && nextMerge < next {
+		if (tree == nil || !tree.Done() || repairArmed) && nextMerge > slot && nextMerge < next {
 			next = nextMerge
+		}
+		if nextWatch < next {
+			next = nextWatch
 		}
 		if cfg.FailAt > 0 && !churned && cfg.FailAt > slot && cfg.FailAt < next {
 			next = cfg.FailAt
@@ -228,6 +426,43 @@ func snapshotNeighbors(env *Env) [][]ghs.Neighbor {
 		for peer, stat := range d.DiscoveredPeers {
 			out[i] = append(out[i], ghs.Neighbor{Peer: peer, Weight: float64(stat.Mean())})
 		}
+	}
+	return out
+}
+
+// snapshotLiveNeighbors is snapshotNeighbors restricted to devices that
+// are powered on and not presumed dead by the watchdog — the repair round
+// must not route re-attachment through a corpse.
+func snapshotLiveNeighbors(env *Env, presumed []bool) [][]ghs.Neighbor {
+	out := make([][]ghs.Neighbor, len(env.Devices))
+	for i, d := range env.Devices {
+		if !env.Alive[i] || presumed[i] {
+			continue
+		}
+		for peer, stat := range d.DiscoveredPeers {
+			if !env.Alive[peer] || presumed[peer] {
+				continue
+			}
+			out[i] = append(out[i], ghs.Neighbor{Peer: peer, Weight: float64(stat.Mean())})
+		}
+	}
+	return out
+}
+
+// survivingEdges filters the broken tree down to the edges both of whose
+// endpoints are live, not presumed dead and not rebooted — the forest a
+// repair round inherits for free. A rebooted device's pre-crash edges are
+// stale (its subtree re-attached elsewhere during the downtime), so it
+// re-joins from scratch instead.
+func survivingEdges(env *Env, tree *ghs.Protocol, presumed, rebooted []bool) []graph.Edge {
+	var out []graph.Edge
+	for _, e := range tree.Result().Edges {
+		if !env.Alive[e.U] || !env.Alive[e.V] ||
+			presumed[e.U] || presumed[e.V] ||
+			rebooted[e.U] || rebooted[e.V] {
+			continue
+		}
+		out = append(out, e)
 	}
 	return out
 }

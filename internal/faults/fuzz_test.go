@@ -1,0 +1,78 @@
+package faults
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/units"
+	"repro/internal/xrand"
+)
+
+// FuzzLoadPlan hammers the schedule parser and the injector built from
+// whatever survives validation. Invariants: Read never panics, a validated
+// plan always compiles, the pop cursor visits every action exactly once in
+// monotone slot order, and Drops stays total-function safe.
+func FuzzLoadPlan(f *testing.F) {
+	seeds := []string{
+		`{"version":1}`,
+		`{"version":1,"loss_rate":0.25}`,
+		`{"version":1,"actions":[{"kind":"crash","at":500,"device":3},{"kind":"recover","at":900,"device":3}]}`,
+		`{"version":1,"actions":[{"kind":"join","at":200,"device":7}]}`,
+		`{"version":1,"actions":[{"kind":"clock-jump","at":700,"device":1,"delta":-0.4}]}`,
+		`{"version":1,"outages":[{"at":100,"slots":50,"a":2,"b":4},{"at":300,"slots":20,"a":5,"b":-1}]}`,
+		`{"version":1,"loss_rate":1,"actions":[{"kind":"crash","at":1,"device":0}],"outages":[{"at":1,"slots":1,"a":0,"b":-1}]}`,
+		`{"version":2}`,
+		`{"version":1,"actions":[{"kind":"explode","at":5,"device":0}]}`,
+		`not json at all`,
+		`{}`,
+		`{"version":1,"loss_rate":-3}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // malformed input is allowed to fail, not to panic
+		}
+		const n, maxSlots = 16, 10000
+		if err := p.Validate(n, maxSlots); err != nil {
+			return
+		}
+		inj := NewInjector(p, xrand.NewStreams(1).Get("faults"))
+		if inj == nil {
+			t.Fatal("validated non-nil plan compiled to nil injector")
+		}
+		for _, d := range inj.InitialDead() {
+			if d < 0 || d >= n {
+				t.Fatalf("InitialDead id %d outside [0,%d)", d, n)
+			}
+		}
+		popped := 0
+		var slot units.Slot
+		for {
+			at, ok := inj.NextBoundary(slot)
+			if !ok {
+				break
+			}
+			if at <= slot || at > maxSlots {
+				t.Fatalf("boundary %d not after %d or past cap", at, slot)
+			}
+			for _, a := range inj.PopDue(at) {
+				if units.Slot(a.At) > at {
+					t.Fatalf("popped action at %d when stepping %d", a.At, at)
+				}
+				popped++
+			}
+			slot = at
+		}
+		if popped != len(p.Actions) {
+			t.Fatalf("popped %d actions, plan has %d", popped, len(p.Actions))
+		}
+		if inj.Pending() {
+			t.Fatal("exhausted schedule still pending")
+		}
+		inj.Drops(0, 1, 1)
+		inj.Drops(n-1, 0, maxSlots)
+	})
+}

@@ -1,0 +1,120 @@
+package faults
+
+import (
+	"sort"
+
+	"repro/internal/units"
+	"repro/internal/xrand"
+)
+
+// Injector is a validated plan compiled for consumption by a run engine:
+// actions sorted into a deterministic application order, a cursor that pops
+// due actions exactly once, and the seeded loss stream. Build one per run
+// (the cursor is run state); a nil *Injector disables the layer entirely.
+type Injector struct {
+	actions []Action // sorted by (At, Device)
+	cursor  int
+	outages []Outage
+	loss    float64
+	lossSrc *xrand.Stream
+}
+
+// NewInjector compiles a plan. lossSrc is the dedicated "faults" stream; it
+// is only ever drawn from when the plan's LossRate is positive, so an empty
+// or loss-free plan leaves every other stream's draw sequence untouched.
+func NewInjector(p *Plan, lossSrc *xrand.Stream) *Injector {
+	if p == nil {
+		return nil
+	}
+	inj := &Injector{
+		actions: append([]Action(nil), p.Actions...),
+		outages: append([]Outage(nil), p.Outages...),
+		loss:    p.LossRate,
+		lossSrc: lossSrc,
+	}
+	sort.Slice(inj.actions, func(i, j int) bool {
+		if inj.actions[i].At != inj.actions[j].At {
+			return inj.actions[i].At < inj.actions[j].At
+		}
+		return inj.actions[i].Device < inj.actions[j].Device
+	})
+	return inj
+}
+
+// InitialDead returns the devices that are absent at slot 0 (those whose
+// first membership action is a join).
+func (inj *Injector) InitialDead() []int {
+	var out []int
+	seen := make(map[int]bool)
+	for _, a := range inj.actions {
+		switch a.Kind {
+		case KindJoin:
+			if !seen[a.Device] {
+				out = append(out, a.Device)
+			}
+			seen[a.Device] = true
+		case KindCrash, KindRecover:
+			// An earlier crash/recover means the device started alive.
+			seen[a.Device] = true
+		}
+	}
+	return out
+}
+
+// NextBoundary returns the slot of the earliest not-yet-applied action after
+// `after`, for folding into the event engine's next-step horizon. Outages
+// and loss need no boundaries: they only filter deliveries at slots where
+// something fires anyway.
+func (inj *Injector) NextBoundary(after units.Slot) (units.Slot, bool) {
+	for i := inj.cursor; i < len(inj.actions); i++ {
+		if at := units.Slot(inj.actions[i].At); at > after {
+			return at, true
+		}
+	}
+	return 0, false
+}
+
+// PopDue returns the actions due at or before slot, in (At, Device) order,
+// advancing the cursor past them. The returned slice aliases the injector's
+// storage and is valid until the next call.
+func (inj *Injector) PopDue(slot units.Slot) []Action {
+	start := inj.cursor
+	for inj.cursor < len(inj.actions) && units.Slot(inj.actions[inj.cursor].At) <= slot {
+		inj.cursor++
+	}
+	return inj.actions[start:inj.cursor]
+}
+
+// Pending reports whether scheduled actions remain unapplied.
+func (inj *Injector) Pending() bool { return inj.cursor < len(inj.actions) }
+
+// Filters reports whether the injector can ever drop a delivery — false for
+// plans with neither outages nor loss, letting the engines skip the
+// per-delivery filter entirely (the faults-off hot path).
+func (inj *Injector) Filters() bool { return inj.loss > 0 || len(inj.outages) > 0 }
+
+// Drops decides whether the delivery from→to at slot is lost. Outage
+// matching is checked first (pure schedule lookup, no randomness); only
+// then, and only when LossRate > 0, is the loss stream drawn — once per
+// surviving delivery, in delivery-list order, which the engines keep
+// invariant across engine kind and worker count.
+func (inj *Injector) Drops(from, to int, slot units.Slot) bool {
+	for _, o := range inj.outages {
+		if int64(slot) < o.At || int64(slot) >= o.At+o.Slots {
+			continue
+		}
+		if o.B == -1 {
+			if from == o.A || to == o.A {
+				return true
+			}
+			continue
+		}
+		if (from == o.A && to == o.B) || (from == o.B && to == o.A) {
+			return true
+		}
+	}
+	if inj.loss > 0 {
+		return inj.lossSrc.Float64() < inj.loss
+	}
+	return false
+}

@@ -303,6 +303,50 @@ func (p *Protocol) Step() bool {
 	return true
 }
 
+// Preseed unions already-established tree edges into the protocol's state
+// without charging any messages — the self-healing repair round starts from
+// the surviving forest of a broken tree instead of re-merging from
+// singletons (those edges were negotiated and paid for before the fault).
+// Every preseeded fragment re-elects its head as the minimum member id: the
+// old head may be exactly the node whose death triggered the repair, and
+// min-id is the deterministic convention both endpoints of every edge agree
+// on without extra traffic. Call before the first Step; edges whose
+// endpoints already share a fragment are ignored.
+func (p *Protocol) Preseed(edges []graph.Edge) {
+	for _, e := range edges {
+		if e.U < 0 || e.U >= p.n || e.V < 0 || e.V >= p.n {
+			continue
+		}
+		ra, rb := p.uf.Find(e.U), p.uf.Find(e.V)
+		if ra == rb {
+			continue
+		}
+		mergedMembers := append(p.members[ra], p.members[rb]...)
+		newSize := p.size[ra] + p.size[rb]
+		for _, r := range [2]int{ra, rb} {
+			delete(p.members, r)
+			delete(p.size, r)
+			delete(p.head, r)
+		}
+		p.uf.Union(e.U, e.V)
+		nr := p.uf.Find(e.U)
+		p.members[nr] = mergedMembers
+		p.size[nr] = newSize
+		p.edges = append(p.edges, e)
+		p.treeAdj[e.U] = append(p.treeAdj[e.U], e.V)
+		p.treeAdj[e.V] = append(p.treeAdj[e.V], e.U)
+	}
+	for r, mem := range p.members {
+		h := mem[0]
+		for _, m := range mem[1:] {
+			if m < h {
+				h = m
+			}
+		}
+		p.head[r] = h
+	}
+}
+
 // Result snapshots the protocol outcome. Call after Done() for the final
 // forest, or mid-run for the partial state.
 func (p *Protocol) Result() Result {

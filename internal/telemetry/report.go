@@ -9,8 +9,10 @@ import (
 )
 
 // ReportSchema versions the machine-readable run report so downstream
-// tooling can reject reports written by an incompatible layout.
-const ReportSchema = 1
+// tooling can reject reports written by an incompatible layout. Schema 2
+// added the fault-layer fields: per-sample alive/repairs counts and the
+// summary's recovery scalars.
+const ReportSchema = 2
 
 // ResultSummary is the flat, JSON-stable view of a run's end-of-run
 // scalars. It mirrors core.Result without importing core (telemetry is a
@@ -45,6 +47,13 @@ type ResultSummary struct {
 	TreeEdges int `json:"tree_edges"`
 	// TreePhases is the number of fragment merge phases run.
 	TreePhases int `json:"tree_phases"`
+	// Recoveries, RecoverySlots and Repairs summarize the self-healing
+	// layer on faulted runs (zero, and omitted, without a fault plan).
+	Recoveries int `json:"recoveries,omitempty"`
+	// RecoverySlots is the cumulative fault-to-re-convergence time.
+	RecoverySlots units.Slot `json:"recovery_slots,omitempty"`
+	// Repairs counts completed tree-repair rounds.
+	Repairs int `json:"repairs,omitempty"`
 }
 
 // Report is the machine-readable run report `d2dsim -report` emits: enough

@@ -44,6 +44,11 @@ type Sample struct {
 	// Collisions is the cumulative count of contention groups lost to
 	// same-slot collision arbitration (rach.Transport.Collisions).
 	Collisions uint64 `json:"collisions"`
+	// Alive is the powered-on device count — the fault layer's churn made
+	// visible in the series (equals N for fault-free runs).
+	Alive int `json:"alive,omitempty"`
+	// Repairs is the cumulative count of completed self-healing rounds.
+	Repairs int `json:"repairs,omitempty"`
 }
 
 // Run accumulates one protocol run's telemetry: a stepped-slot counter and

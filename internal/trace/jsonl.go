@@ -26,7 +26,7 @@ type jsonlRecord struct {
 
 // kindFromString inverts Kind.String for the schema's stable names.
 func kindFromString(s string) (Kind, error) {
-	for _, k := range []Kind{KindFire, KindMerge, KindJoin, KindConverge, KindChurn} {
+	for _, k := range []Kind{KindFire, KindMerge, KindJoin, KindConverge, KindChurn, KindRecover, KindRepair} {
 		if k.String() == s {
 			return k, nil
 		}

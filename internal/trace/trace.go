@@ -27,6 +27,12 @@ const (
 	KindConverge
 	// KindChurn is a device powering off (post-setup failure injection).
 	KindChurn
+	// KindRecover is a device powering (back) on: a fault-plan recover or
+	// mid-run join.
+	KindRecover
+	// KindRepair is a completed self-healing round: orphaned subtrees
+	// re-attached and the tree spanning the live set again.
+	KindRepair
 )
 
 // String implements fmt.Stringer.
@@ -42,6 +48,10 @@ func (k Kind) String() string {
 		return "converge"
 	case KindChurn:
 		return "churn"
+	case KindRecover:
+		return "recover"
+	case KindRepair:
+		return "repair"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
