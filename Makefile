@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-core ci bench bench-slot bench-link bench-event bench-record bench-compare bench-telemetry bench-faults sweep examples fuzz clean
+.PHONY: all build test vet race race-core resume-guard ci bench bench-slot bench-link bench-event bench-record bench-compare bench-telemetry bench-faults sweep examples fuzz clean
 
 all: build vet test
 
@@ -13,6 +13,13 @@ ci: build vet test race-core
 
 race-core:
 	$(GO) test -race ./internal/core/... ./internal/firefly/... ./internal/experiments/...
+
+# Checkpoint/restore correctness spine under the race detector: resume
+# bit-identity across engines and worker counts, adaptive-engine equivalence,
+# and the committed golden checkpoint fixture.
+resume-guard:
+	$(GO) test -race -count 1 -run 'TestResume|TestAutoEngine|TestGoldenCheckpoint' ./internal/core/
+	$(GO) test -count 1 ./internal/snapshot/
 
 build:
 	$(GO) build ./...
@@ -65,7 +72,7 @@ bench-event:
 # benchtime, whole-run engine benchmarks at a fixed iteration count, all
 # merged into BENCH_slot.json.
 bench-record:
-	{ $(GO) test -run '^$$' -bench 'BenchmarkStepSlot|BenchmarkBroadcastCached|BenchmarkBroadcastDirect' -benchmem ./internal/core/ ./internal/rach/ ; \
+	{ $(GO) test -run '^$$' -bench 'BenchmarkStepSlot|BenchmarkBroadcastCached|BenchmarkBroadcastDirect|BenchmarkSnapshotRoundTrip' -benchmem ./internal/core/ ./internal/rach/ ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkRunFST|BenchmarkRunST' -benchtime 3x -benchmem ./internal/core/ ; } \
 		| $(GO) run ./cmd/benchjson -o BENCH_slot.json
 	@cat BENCH_slot.json
@@ -75,7 +82,7 @@ bench-record:
 # counts are machine/b.N-dependent, so ungated), then a hard gate on the
 # designed zero-allocation broadcast path.
 bench-compare:
-	{ $(GO) test -run '^$$' -bench 'BenchmarkStepSlot|BenchmarkBroadcastCached|BenchmarkBroadcastDirect' -benchmem ./internal/core/ ./internal/rach/ ; \
+	{ $(GO) test -run '^$$' -bench 'BenchmarkStepSlot|BenchmarkBroadcastCached|BenchmarkBroadcastDirect|BenchmarkSnapshotRoundTrip' -benchmem ./internal/core/ ./internal/rach/ ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkRunFST|BenchmarkRunST' -benchtime 3x -benchmem ./internal/core/ ; } \
 		| $(GO) run ./cmd/benchjson -o /tmp/bench-new.json
 	$(GO) run ./cmd/benchjson -old BENCH_slot.json -new /tmp/bench-new.json
@@ -103,6 +110,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/manifest/
 	$(GO) test -fuzz=FuzzSummarize -fuzztime=30s ./internal/metrics/
 	$(GO) test -fuzz=FuzzLoadPlan -fuzztime=30s ./internal/faults/
+	$(GO) test -fuzz=FuzzSnapshotDecode -fuzztime=30s ./internal/snapshot/
 
 clean:
 	$(GO) clean ./...

@@ -15,6 +15,9 @@
 //	d2dsim -exp single -proto ST -n 1000 -cpuprofile cpu.pprof -memprofile mem.pprof
 //	d2dsim -exp single -proto ST -n 200 -report run.json
 //	d2dsim -exp single -proto ST -n 200 -faults plan.json
+//	d2dsim -exp single -proto FST -n 200 -engine auto
+//	d2dsim -exp single -proto FST -n 200 -checkpoint-every 500 -checkpoint ck.json
+//	d2dsim -exp single -proto FST -n 200 -resume ck.json
 //	d2dsim -exp recovery -sizes 50,100,200 -seeds 5
 //	d2dsim -exp fig3 -telemetry-addr :8080
 package main
@@ -35,6 +38,7 @@ import (
 	"repro/internal/manifest"
 	"repro/internal/metrics"
 	"repro/internal/rach"
+	"repro/internal/snapshot"
 	"repro/internal/telemetry"
 	"repro/internal/units"
 )
@@ -50,7 +54,7 @@ func main() {
 		maxSlots    = flag.Int64("maxslots", 0, "override the per-run slot cap (0 = default)")
 		workers     = flag.Int("workers", 0, "sweep worker pool size (0 = NumCPU)")
 		slotWorkers = flag.Int("slotworkers", 0, "per-run slot engine workers (0/1 = sequential, <0 = NumCPU); results are identical for every value")
-		engine      = flag.String("engine", "", "stepping strategy: slot steps every slot, event skips inert slots via next-fire scheduling (default slot); results are identical for either")
+		engine      = flag.String("engine", "", "stepping strategy: slot steps every slot, event skips inert slots via next-fire scheduling, auto switches between them at period boundaries by observed activity (default slot); results are identical for every choice")
 		csv         = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		plot        = flag.Bool("plot", false, "also draw fig3/fig4 as a terminal line chart")
 		cfgPath     = flag.String("config", "", "run -exp single from a JSON manifest (overrides -n/-seed)")
@@ -60,8 +64,17 @@ func main() {
 		reportPath  = flag.String("report", "", "write a machine-readable telemetry report (JSON: config digest, result, probe series) of a single/-config run to this file")
 		faultsPath  = flag.String("faults", "", "inject a JSON fault plan (crashes, recoveries, joins, clock jumps, outages, loss) into a single/-config run")
 		telAddr     = flag.String("telemetry-addr", "", "serve live metrics on this address (/metrics Prometheus text, /debug/vars expvar, /debug/pprof/)")
+		ckEvery     = flag.Int64("checkpoint-every", 0, "capture a checkpoint of a single/-config run every N slots (requires -checkpoint)")
+		ckPath      = flag.String("checkpoint", "", "file the latest checkpoint is written to (atomically; each checkpoint replaces the previous one)")
+		resumePath  = flag.String("resume", "", "resume a single/-config run from a checkpoint file; the config and -proto must match the run that wrote it")
 	)
 	flag.Parse()
+
+	ck := checkpointOpts{every: *ckEvery, path: *ckPath, resume: *resumePath}
+	if err := ck.check(); err != nil {
+		fmt.Fprintln(os.Stderr, "d2dsim:", err)
+		os.Exit(1)
+	}
 
 	var vars *telemetry.Vars
 	if *telAddr != "" {
@@ -118,7 +131,7 @@ func main() {
 	}
 
 	if *cfgPath != "" {
-		if err := runFromManifest(*cfgPath, *proto, *slotWorkers, *engine, *reportPath, plan, vars); err != nil {
+		if err := runFromManifest(*cfgPath, *proto, *slotWorkers, *engine, *reportPath, plan, vars, ck); err != nil {
 			fmt.Fprintln(os.Stderr, "d2dsim:", err)
 			os.Exit(1)
 		}
@@ -130,6 +143,7 @@ func main() {
 		n: *n, proto: *proto, maxSlots: *maxSlots,
 		workers: *workers, slotWorkers: *slotWorkers, engine: *engine,
 		csv: *csv, plot: *plot, report: *reportPath, faults: plan, vars: vars,
+		checkpoint: ck,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "d2dsim:", err)
@@ -159,6 +173,69 @@ type runOpts struct {
 	faults *faults.Plan
 	// vars, when non-nil, receives live metric updates for -telemetry-addr.
 	vars *telemetry.Vars
+	// checkpoint carries the -checkpoint-every/-checkpoint/-resume flags,
+	// applied to single runs only.
+	checkpoint checkpointOpts
+}
+
+// checkpointOpts wires the checkpoint/resume flags into a single run.
+type checkpointOpts struct {
+	every  int64  // -checkpoint-every
+	path   string // -checkpoint
+	resume string // -resume
+}
+
+func (c checkpointOpts) check() error {
+	if c.every < 0 {
+		return fmt.Errorf("-checkpoint-every %d is negative", c.every)
+	}
+	if (c.every > 0) != (c.path != "") {
+		return fmt.Errorf("-checkpoint-every and -checkpoint must be used together")
+	}
+	return nil
+}
+
+// apply loads the -resume snapshot (pre-validating the protocol tag — the
+// config itself is cross-checked by cfg.Validate via N, seed and slot cap)
+// and installs the checkpoint writer. Each checkpoint atomically replaces the
+// -checkpoint file, so an interrupted run leaves the latest complete one.
+func (c checkpointOpts) apply(cfg *core.Config, proto string) error {
+	if c.resume != "" {
+		data, err := os.ReadFile(c.resume)
+		if err != nil {
+			return err
+		}
+		st, err := snapshot.Decode(data)
+		if err != nil {
+			return err
+		}
+		if st.Protocol != strings.ToUpper(proto) {
+			return fmt.Errorf("checkpoint %s is a %s run, -proto is %s", c.resume, st.Protocol, proto)
+		}
+		cfg.Resume = st
+	}
+	if c.every > 0 {
+		cfg.CheckpointEvery = units.Slot(c.every)
+		path := c.path
+		cfg.OnCheckpoint = func(st *snapshot.State) {
+			if err := writeCheckpoint(path, st); err != nil {
+				fmt.Fprintln(os.Stderr, "d2dsim: checkpoint:", err)
+			}
+		}
+	}
+	return nil
+}
+
+func writeCheckpoint(path string, st *snapshot.State) error {
+	data, err := snapshot.Encode(st)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // loadFaults reads the -faults plan, if any. The centralized baseline has
@@ -177,7 +254,7 @@ func loadFaults(path, proto string) (*faults.Plan, error) {
 // Workers and Engine are throughput knobs, not model parameters, so they are
 // not part of the manifest; the flags apply on top and cannot change the
 // result.
-func runFromManifest(path, proto string, slotWorkers int, engine string, report string, plan *faults.Plan, vars *telemetry.Vars) error {
+func runFromManifest(path, proto string, slotWorkers int, engine string, report string, plan *faults.Plan, vars *telemetry.Vars, ck checkpointOpts) error {
 	m, err := manifest.Load(path)
 	if err != nil {
 		return err
@@ -189,6 +266,9 @@ func runFromManifest(path, proto string, slotWorkers int, engine string, report 
 	cfg.Workers = slotWorkers
 	cfg.Engine = engine
 	cfg.Faults = plan
+	if err := ck.apply(&cfg, proto); err != nil {
+		return err
+	}
 	telRun := attachTelemetry(&cfg, report, vars)
 	env, err := core.NewEnv(cfg)
 	if err != nil {
@@ -526,6 +606,9 @@ func run(o runOpts) error {
 		cfg.Faults = o.faults
 		if maxSlots > 0 {
 			cfg.MaxSlots = units.Slot(maxSlots)
+		}
+		if err := o.checkpoint.apply(&cfg, proto); err != nil {
+			return err
 		}
 		telRun := attachTelemetry(&cfg, o.report, o.vars)
 		env, err := core.NewEnv(cfg)

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// Property pin for the adaptive engine: whatever mode it is in at any moment,
+// its trajectory must be bit-identical to both pure engines. The sparse/dense
+// axis is the period length T — long periods leave most slots inert (the
+// event engine's home turf), short periods keep the air busy (the slot
+// loop's). T is drawn at random per seed so the decision boundaries fall at
+// arbitrary offsets relative to period and discovery boundaries.
+
+func TestAutoEngineMatchesPureEngines(t *testing.T) {
+	pick := rand.New(rand.NewSource(7))
+	kinds := []struct {
+		name   string
+		drawT  func() int
+		sparse bool
+	}{
+		// Sparse: n=40 devices firing once per ~200-400 slots leave well
+		// under a quarter of slots eventful — auto must go event-driven.
+		{"sparse", func() int { return 200 + pick.Intn(200) }, true},
+		// Dense: a fire lands in most ~10-30-slot windows — auto must stay
+		// on the slot loop.
+		{"dense", func() int { return 10 + pick.Intn(20) }, false},
+	}
+	for _, k := range kinds {
+		for _, seed := range []int64{1, 2, 3} {
+			T := k.drawT()
+			label := fmt.Sprintf("auto/%s/T=%d/seed=%d", k.name, T, seed)
+			cfg := PaperConfig(40, seed)
+			cfg.PeriodSlots = T
+			cfg.MaxSlots = units.Slot(20 * T) // identity holds slot by slot; no need to converge
+			cfg.Engine = EngineSlot
+			slot, slotPhases := fingerprintCfg(t, FST{}, cfg)
+			cfg.Engine = EngineEvent
+			event, eventPhases := fingerprintCfg(t, FST{}, cfg)
+			cfg.Engine = EngineAuto
+			auto, autoPhases := fingerprintCfg(t, FST{}, cfg)
+
+			compareFingerprints(t, label+"/vs-slot", slot, auto)
+			compareFingerprints(t, label+"/vs-event", event, auto)
+			comparePhases(t, label+"/vs-slot", slotPhases, autoPhases)
+			comparePhases(t, label+"/vs-event", eventPhases, autoPhases)
+
+			if k.sparse {
+				// The adaptive engine must have actually switched: once in
+				// event mode it skips inert slots, so its active count drops
+				// below the span.
+				if auto.res.ActiveSlots >= auto.res.TotalSlots {
+					t.Errorf("%s: auto engine never left slot mode (active=%d total=%d)",
+						label, auto.res.ActiveSlots, auto.res.TotalSlots)
+				}
+			} else {
+				if auto.res.ActiveSlots != auto.res.TotalSlots {
+					t.Errorf("%s: auto engine left slot mode on a dense run (active=%d total=%d)",
+						label, auto.res.ActiveSlots, auto.res.TotalSlots)
+				}
+			}
+		}
+	}
+}
+
+// The adaptive engine must also survive mid-run churn (a burst of deaths can
+// flip a dense run sparse) and still match the pure engines.
+func TestAutoEngineChurnDifferential(t *testing.T) {
+	for _, proto := range []Protocol{FST{}, ST{}} {
+		cfg := fastConfig(40, 6)
+		cfg.FailAt = 600
+		cfg.FailSet = []int{0, 7, 35}
+		label := fmt.Sprintf("auto/%s/churn", proto.Name())
+		cfg.Engine = EngineSlot
+		slot, slotPhases := fingerprintCfg(t, proto, cfg)
+		cfg.Engine = EngineAuto
+		auto, autoPhases := fingerprintCfg(t, proto, cfg)
+		compareFingerprints(t, label, slot, auto)
+		comparePhases(t, label, slotPhases, autoPhases)
+	}
+}

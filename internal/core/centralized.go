@@ -7,6 +7,7 @@ import (
 	"repro/internal/eventsim"
 	"repro/internal/graph"
 	"repro/internal/rach"
+	"repro/internal/snapshot"
 	"repro/internal/trace"
 	"repro/internal/units"
 )
@@ -46,6 +47,17 @@ func (Centralized) Run(env *Env) Result {
 	cfg := env.Cfg
 	res := Result{Protocol: "BS", N: cfg.N}
 
+	// A resume overlays the saved environment state before the engine is
+	// built. Only the discovery slot loop is checkpointable: the uplink
+	// collection and the timing broadcast run in one piece after it, so a
+	// resume from a discovery checkpoint replays them fresh — which is
+	// trajectory-identical, since they depend only on the (restored)
+	// discovery tables and the (restored) "bs-uplink" stream cursor.
+	rst := resumeFor(cfg, "BS")
+	if rst != nil {
+		restoreEnvState(env, rst)
+	}
+
 	// Phase 1: beaconing discovery, identical to the distributed path
 	// (no coupling — timing will come from the BS).
 	couples := func(sender, receiver int) bool { return false }
@@ -59,8 +71,20 @@ func (Centralized) Run(env *Env) Result {
 	if cfg.MaxSlots < bound {
 		bound = cfg.MaxSlots
 	}
-	for cur := units.Slot(1); cur <= bound; cur = slotEng.nextStep(cur) {
+	startSlot := units.Slot(1)
+	if rst != nil {
+		applyResultState(&res, rst.BS.Result)
+		slotEng.restoreEngineState(rst.Engine)
+		startSlot = slotEng.nextStep(units.Slot(rst.Slot))
+	}
+	for cur := startSlot; cur <= bound; cur = slotEng.nextStep(cur) {
 		slotEng.stepSlot(cur, couples, 1, &res.Ops)
+		if slotEng.wantsCheckpoint(cur) {
+			st := captureState(env, slotEng, cur)
+			st.Protocol = "BS"
+			st.BS = &snapshot.BSState{Result: resultState(&res)}
+			cfg.OnCheckpoint(st)
+		}
 	}
 	// Catch lazily advanced phases up to the discovery boundary: phase 2
 	// freezes the oscillators while the uplink collection runs, exactly as

@@ -25,16 +25,20 @@ import (
 	"repro/internal/geo"
 	"repro/internal/oscillator"
 	"repro/internal/radio"
+	"repro/internal/snapshot"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/units"
 )
 
-// Config.Engine values: the slot-stepped reference loop and the
-// event-driven engine (lazy phase advancement + next-fire scheduling).
+// Config.Engine values: the slot-stepped reference loop, the event-driven
+// engine (lazy phase advancement + next-fire scheduling), and the adaptive
+// engine that monitors the active-slot ratio and hands the run between the
+// two at period-aligned decision boundaries.
 const (
 	EngineSlot  = "slot"
 	EngineEvent = "event"
+	EngineAuto  = "auto"
 )
 
 // Config holds every knob of a protocol run. The zero value is not runnable;
@@ -123,13 +127,40 @@ type Config struct {
 	// the run (the reference loop, optionally sharded per Workers);
 	// EngineEvent advances oscillator phases lazily and fast-forwards
 	// between scheduled fires, protocol timers and trace boundaries —
-	// O(events) instead of O(MaxSlots·n). Results are bit-identical
-	// between engines (the differential suite in eventengine_test.go pins
-	// fire sequences, counters and RNG draws), so like Workers this is a
-	// throughput knob, not a model parameter, and manifests do not carry
-	// it. The event engine is single-threaded; Workers is ignored when it
-	// is selected.
+	// O(events) instead of O(MaxSlots·n). EngineAuto starts on the slot
+	// engine and monitors the eventful-slot ratio over period-aligned
+	// windows, handing the run to the event engine when slots go sparse
+	// and back when they densify — the handoff is the same state transfer
+	// the checkpoint/restore path uses (rebuild the fire queue from
+	// oscillator state, or materialize every phase), so it is trajectory-
+	// preserving. Results are bit-identical between all engines (the
+	// differential suites in eventengine_test.go and autoswitch_test.go
+	// pin fire sequences, counters and RNG draws), so like Workers this is
+	// a throughput knob, not a model parameter, and manifests do not carry
+	// it. The event engine is single-threaded; Workers applies only while
+	// slot-stepping.
 	Engine string
+
+	// CheckpointEvery, when positive, arms checkpointing: at every multiple
+	// of this slot count the run captures its full state and hands it to
+	// OnCheckpoint. Checkpoint boundaries are folded into the engines'
+	// next-step horizons exactly like fault and telemetry boundaries, so
+	// both engines step (and snapshot) the very same slots and the knob is
+	// trajectory-neutral up to the engine-dependent ActiveSlots observable.
+	CheckpointEvery units.Slot
+	// OnCheckpoint receives the state captured at each checkpoint
+	// boundary. The state is a deep copy; the hook may serialize it
+	// (snapshot.Encode) or keep it. It must not mutate simulation state.
+	OnCheckpoint func(st *snapshot.State)
+	// Resume, when non-nil, starts the run from a decoded checkpoint
+	// instead of from slot 1: the environment is rebuilt from this Config,
+	// the saved state is overlaid (stream cursors seek to absolute
+	// positions), and the run continues at slots strictly after the
+	// snapshot slot — bit-identically to the uninterrupted run, on any
+	// engine. The snapshot must come from a run of the same protocol with
+	// the same N and Seed (Validate checks N and Seed; the protocol's Run
+	// panics on a protocol mismatch).
+	Resume *snapshot.State
 
 	// DiscoveryPeriods is how many initial periods ST spends purely on
 	// RSSI neighbour discovery before the first merge phase.
@@ -282,8 +313,10 @@ func (c Config) Validate() error {
 	case !c.Coupling.Converges():
 		return fmt.Errorf("core: coupling α=%v β=%v violates the convergence condition",
 			c.Coupling.Alpha, c.Coupling.Beta)
-	case c.Engine != "" && c.Engine != EngineSlot && c.Engine != EngineEvent:
-		return fmt.Errorf("core: unknown engine %q (want %q or %q)", c.Engine, EngineSlot, EngineEvent)
+	case c.Engine != "" && c.Engine != EngineSlot && c.Engine != EngineEvent && c.Engine != EngineAuto:
+		return fmt.Errorf("core: unknown engine %q (want %q, %q or %q)", c.Engine, EngineSlot, EngineEvent, EngineAuto)
+	case c.CheckpointEvery < 0:
+		return fmt.Errorf("core: CheckpointEvery %d < 0", c.CheckpointEvery)
 	case c.ConnectRetryLimit < 0:
 		return fmt.Errorf("core: ConnectRetryLimit %d < 0", c.ConnectRetryLimit)
 	case c.WatchdogPeriods < 0:
@@ -303,6 +336,17 @@ func (c Config) Validate() error {
 	}
 	if err := c.Faults.Validate(c.N, int64(c.MaxSlots)); err != nil {
 		return err
+	}
+	if r := c.Resume; r != nil {
+		if r.N != c.N {
+			return fmt.Errorf("core: resume snapshot is for N=%d, config has N=%d", r.N, c.N)
+		}
+		if r.Seed != c.Seed {
+			return fmt.Errorf("core: resume snapshot is for seed %d, config has seed %d", r.Seed, c.Seed)
+		}
+		if units.Slot(r.Slot) > c.MaxSlots {
+			return fmt.Errorf("core: resume snapshot slot %d past MaxSlots %d", r.Slot, c.MaxSlots)
+		}
 	}
 	return nil
 }

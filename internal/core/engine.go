@@ -140,6 +140,36 @@ type engine struct {
 	// buffers alternate without aliasing.
 	firedAll []int
 	waves    [2][]int
+
+	// auto is the adaptive engine's decision state (nil unless
+	// Config.Engine == EngineAuto).
+	auto *autoState
+}
+
+// The adaptive engine decides every autoDecidePeriods periods: if fewer than
+// autoToEventBelow of the window's slots were eventful (saw at least one
+// fire) it hands the run to the event engine; if more than autoToSlotAbove
+// were, it hands it back to the slot stepper. The metric is mode-independent
+// — eventful slots are the slots both engines must step anyway — and the
+// handoff reuses the checkpoint/restore state transfer (rebuild the fire
+// queue from oscillator state, or materialize every phase), so switching is
+// trajectory-preserving and auto results are bit-identical to both pure
+// engines. The hysteresis gap keeps a run that hovers near one threshold
+// from thrashing between modes.
+const (
+	autoDecidePeriods = 4
+	autoToEventBelow  = 0.25
+	autoToSlotAbove   = 0.75
+)
+
+// autoState tracks the adaptive engine's observation window: the slot the
+// window opened at, the next decision boundary (folded into the event
+// horizon so it is always stepped), and the eventful-slot count so far.
+type autoState struct {
+	windowStart units.Slot
+	decideAt    units.Slot
+	every       units.Slot
+	eventful    uint64
 }
 
 // engineWorkers resolves the Workers knob: <0 means one per CPU, 0/1 means
@@ -171,6 +201,10 @@ func newEngine(env *Env) *engine {
 	if env.Cfg.Engine == EngineEvent {
 		e.ev = newEventEngine(e)
 		return e
+	}
+	if env.Cfg.Engine == EngineAuto {
+		every := units.Slot(autoDecidePeriods * env.Cfg.PeriodSlots)
+		e.auto = &autoState{every: every, decideAt: every}
 	}
 	w := engineWorkers(env.Cfg)
 	if w > 1 && env.Transport.SenderStreams == nil && env.Transport.LinkSampler == nil {
@@ -211,6 +245,14 @@ func (e *engine) stepSlot(slot units.Slot, couples couplingRule, opsPerPulse uin
 		fired = e.stepSequential(slot, couples, opsPerPulse, ops)
 	default:
 		fired = e.stepParallel(slot, couples, opsPerPulse, ops)
+	}
+	if e.auto != nil {
+		if len(fired) > 0 {
+			e.auto.eventful++
+		}
+		if slot >= e.auto.decideAt {
+			e.autoDecide(slot)
+		}
 	}
 	// Telemetry probes ride behind a nil check so the disabled path stays
 	// on the measured steady state. Sampling only reads state the slot
@@ -281,6 +323,11 @@ func (e *engine) nextStep(after units.Slot) units.Slot {
 	next := after + 1
 	if e.ev != nil {
 		next = e.ev.nextAfter(after)
+		// The adaptive engine must step its decision boundaries even when
+		// every device sleeps past them.
+		if e.auto != nil && e.auto.decideAt > after && e.auto.decideAt < next {
+			next = e.auto.decideAt
+		}
 	}
 	// Fault-action boundaries fold into the horizon like telemetry
 	// sampling boundaries do: the event engine must step the slot a
@@ -290,7 +337,44 @@ func (e *engine) nextStep(after units.Slot) units.Slot {
 			next = at
 		}
 	}
+	// Checkpoint boundaries fold the same way, so every engine steps —
+	// and snapshots — the very same slots.
+	if ce := e.env.Cfg.CheckpointEvery; ce > 0 {
+		if at := (after/ce + 1) * ce; at < next {
+			next = at
+		}
+	}
 	return next
+}
+
+// autoDecide closes the adaptive engine's observation window at slot and
+// switches mode when the eventful-slot ratio crossed a threshold.
+func (e *engine) autoDecide(slot units.Slot) {
+	a := e.auto
+	if span := slot - a.windowStart; span > 0 {
+		ratio := float64(a.eventful) / float64(span)
+		if e.ev == nil && ratio < autoToEventBelow {
+			// Slot → event: every oscillator is materialized at slot (the
+			// slot stepper just stepped it), so the fire queue rebuilds
+			// exactly — the same handoff a checkpoint restore performs.
+			e.ev = newEventEngine(e)
+		} else if e.ev != nil && ratio > autoToSlotAbove {
+			// Event → slot: materialize every lazy phase at slot, then the
+			// slot stepper takes over seamlessly.
+			e.ev.materializeAll(slot)
+			e.ev = nil
+		}
+	}
+	a.windowStart = slot
+	a.eventful = 0
+	a.decideAt = (slot/a.every + 1) * a.every
+}
+
+// wantsCheckpoint reports whether the protocol loop should capture a
+// checkpoint after fully processing slot.
+func (e *engine) wantsCheckpoint(slot units.Slot) bool {
+	ce := e.env.Cfg.CheckpointEvery
+	return ce > 0 && e.env.Cfg.OnCheckpoint != nil && slot%ce == 0
 }
 
 // materialize catches device i's lazily advanced oscillator up to slot,

@@ -5,6 +5,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/oscillator"
 	"repro/internal/rach"
+	"repro/internal/snapshot"
 	"repro/internal/trace"
 	"repro/internal/units"
 )
@@ -47,6 +48,14 @@ func (FST) Run(env *Env) Result {
 	res := Result{Protocol: "FST", N: cfg.N}
 	det := oscillator.NewSyncDetector(cfg.N, cfg.SyncWindowSlots, cfg.StableRounds)
 	opsPerPulse := uint64(cfg.N) // basic Algorithm 3: scan all fireflies
+
+	// A resume overlays the saved environment state before the engine is
+	// built — the event engine derives its fire queue from the restored
+	// oscillator states.
+	rst := resumeFor(cfg, "FST")
+	if rst != nil {
+		restoreEnvState(env, rst)
+	}
 
 	inTree := make([]bool, cfg.N)
 	var treeEdges []graph.Edge
@@ -119,9 +128,56 @@ func (FST) Run(env *Env) Result {
 	}
 	eng.protoTx = func() uint64 { return res.Counters.TotalTx() }
 	eng.repairFn = func() int { return res.Repairs }
+
+	// advance computes the next slot to step after cur (see ST.Run): the
+	// engine's horizon min-folded with the protocol's own timers. The loop
+	// folds it after every slot; a resume folds it once from the snapshot
+	// slot.
+	advance := func(cur units.Slot) units.Slot {
+		next := eng.nextStep(cur)
+		if joinedLive < aliveCnt && nextRound > cur && nextRound < next {
+			next = nextRound
+		}
+		if nextWatch < next {
+			next = nextWatch
+		}
+		if cfg.FailAt > 0 && !churned && cfg.FailAt > cur && cfg.FailAt < next {
+			next = cfg.FailAt
+		}
+		return next
+	}
+
+	startSlot := units.Slot(1)
+	if rst != nil {
+		fs := rst.FST
+		applyResultState(&res, fs.Result)
+		det.SetState(fs.Detector)
+		copy(inTree, fs.InTree)
+		treeEdges = append(treeEdges, fs.TreeEdges...)
+		joined = fs.Joined
+		joinedLive = joined
+		nextRound = units.Slot(fs.NextRound)
+		churned = fs.Churned
+		if ffs := fs.Faults; ffs != nil && flt != nil {
+			aliveCnt = env.AliveCount()
+			copy(parent, ffs.Parent)
+			for i, v := range ffs.LastFired {
+				lastFired[i] = units.Slot(v)
+			}
+			copy(presumedDead, ffs.PresumedDead)
+			joinedLive = ffs.JoinedLive
+			healing, pruned = ffs.Healing, ffs.Pruned
+			synced = ffs.Synced
+			episodeOpen, episodeStart = ffs.EpisodeOpen, units.Slot(ffs.EpisodeStart)
+			nextWatch = units.Slot(ffs.NextWatch)
+		}
+		eng.restoreEngineState(rst.Engine)
+		startSlot = advance(units.Slot(rst.Slot))
+	}
+
 	finalSlot := cfg.MaxSlots
 	var slot units.Slot
-	for slot = 1; slot <= cfg.MaxSlots; {
+	for slot = startSlot; slot <= cfg.MaxSlots; {
 		fired := eng.stepSlot(slot, couples, opsPerPulse, &res.Ops)
 		if flt != nil {
 			for _, f := range fired {
@@ -282,20 +338,42 @@ func (FST) Run(env *Env) Result {
 			break
 		}
 
-		// Next slot to step: the engine's horizon (every slot for the slot
-		// engines; the next scheduled fire or trace boundary for the event
-		// engine) min-folded with the protocol's own timers.
-		next := eng.nextStep(slot)
-		if joinedLive < aliveCnt && nextRound > slot && nextRound < next {
-			next = nextRound
+		// Checkpoint after the slot fully settled: a resume continues at
+		// slots strictly after it.
+		if eng.wantsCheckpoint(slot) {
+			st := captureState(env, eng, slot)
+			st.Protocol = "FST"
+			st.FST = &snapshot.FSTState{
+				Result:    resultState(&res),
+				Detector:  det.State(),
+				InTree:    append([]bool(nil), inTree...),
+				TreeEdges: append([]graph.Edge(nil), treeEdges...),
+				Joined:    joined,
+				NextRound: int64(nextRound),
+				Churned:   churned,
+			}
+			if flt != nil {
+				ffs := &snapshot.FSTFaultState{
+					Parent:       append([]int(nil), parent...),
+					LastFired:    make([]int64, len(lastFired)),
+					PresumedDead: append([]bool(nil), presumedDead...),
+					JoinedLive:   joinedLive,
+					Healing:      healing,
+					Pruned:       pruned,
+					Synced:       synced,
+					EpisodeOpen:  episodeOpen,
+					EpisodeStart: int64(episodeStart),
+					NextWatch:    int64(nextWatch),
+				}
+				for i, lf := range lastFired {
+					ffs.LastFired[i] = int64(lf)
+				}
+				st.FST.Faults = ffs
+			}
+			cfg.OnCheckpoint(st)
 		}
-		if nextWatch < next {
-			next = nextWatch
-		}
-		if cfg.FailAt > 0 && !churned && cfg.FailAt > slot && cfg.FailAt < next {
-			next = cfg.FailAt
-		}
-		slot = next
+
+		slot = advance(slot)
 	}
 	eng.finish(finalSlot)
 	if !res.Converged {

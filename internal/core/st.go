@@ -7,6 +7,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/oscillator"
 	"repro/internal/rach"
+	"repro/internal/snapshot"
 	"repro/internal/trace"
 	"repro/internal/units"
 )
@@ -56,6 +57,14 @@ func (ST) Run(env *Env) Result {
 	res := Result{Protocol: "ST", N: cfg.N}
 	det := oscillator.NewSyncDetector(cfg.N, cfg.SyncWindowSlots, cfg.StableRounds)
 	opsPerPulse := log2ceil(cfg.N)
+
+	// A resume overlays the saved environment state before the engine is
+	// built — the event engine derives its fire queue from the restored
+	// oscillator states.
+	rst := resumeFor(cfg, "ST")
+	if rst != nil {
+		restoreEnvState(env, rst)
+	}
 
 	var tree *ghs.Protocol   // nil until discovery completes
 	var repair *ghs.Protocol // non-nil while a self-healing round runs
@@ -171,8 +180,60 @@ func (ST) Run(env *Env) Result {
 	}
 	eng.protoTx = func() uint64 { return res.Counters.TotalTx() }
 	eng.repairFn = func() int { return res.Repairs }
+
+	// advance computes the next slot to step after cur: the engine's
+	// horizon min-folded with the protocol's merge cadence, watchdog
+	// boundary and churn timer. The loop folds it after every slot; a
+	// resume folds it once from the snapshot slot, so the restored run
+	// steps exactly the slots the uninterrupted run would have.
+	advance := func(cur units.Slot) units.Slot {
+		next := eng.nextStep(cur)
+		if (tree == nil || !tree.Done() || repairArmed) && nextMerge > cur && nextMerge < next {
+			next = nextMerge
+		}
+		if nextWatch < next {
+			next = nextWatch
+		}
+		if cfg.FailAt > 0 && !churned && cfg.FailAt > cur && cfg.FailAt < next {
+			next = cfg.FailAt
+		}
+		return next
+	}
+
+	startSlot := units.Slot(1)
+	if rst != nil {
+		ss := rst.ST
+		applyResultState(&res, ss.Result)
+		det.SetState(ss.Detector)
+		gcfg := ghs.Config{OnMessage: rach2, LinkTrials: env.linkTrials, OnMerge: adopt}
+		if ss.Tree != nil {
+			tree = ghs.RestoreProtocol(gcfg, *ss.Tree)
+		}
+		if ss.Repair != nil {
+			repair = ghs.RestoreProtocol(gcfg, *ss.Repair)
+		}
+		if ss.Frag != nil {
+			frag = append([]int(nil), ss.Frag...)
+		}
+		nextMerge = units.Slot(ss.NextMerge)
+		churned = ss.Churned
+		if fs := ss.Faults; fs != nil && flt != nil {
+			for i, v := range fs.LastFired {
+				lastFired[i] = units.Slot(v)
+			}
+			copy(presumedDead, fs.PresumedDead)
+			copy(rebooted, fs.Rebooted)
+			repairArmed, awaitRepair, repairTries = fs.RepairArmed, fs.AwaitRepair, fs.RepairTries
+			synced = fs.Synced
+			episodeOpen, episodeStart = fs.EpisodeOpen, units.Slot(fs.EpisodeStart)
+			nextWatch = units.Slot(fs.NextWatch)
+		}
+		eng.restoreEngineState(rst.Engine)
+		startSlot = advance(units.Slot(rst.Slot))
+	}
+
 	finalSlot := cfg.MaxSlots
-	for slot = 1; slot <= cfg.MaxSlots; {
+	for slot = startSlot; slot <= cfg.MaxSlots; {
 		fired := eng.stepSlot(slot, couples, opsPerPulse, &res.Ops)
 		if flt != nil {
 			for _, f := range fired {
@@ -362,19 +423,50 @@ func (ST) Run(env *Env) Result {
 			break
 		}
 
-		// Next slot to step: the engine's horizon min-folded with the
-		// protocol's merge cadence, watchdog boundary and churn timer.
-		next := eng.nextStep(slot)
-		if (tree == nil || !tree.Done() || repairArmed) && nextMerge > slot && nextMerge < next {
-			next = nextMerge
+		// Checkpoint after the slot fully settled: a resume continues at
+		// slots strictly after it.
+		if eng.wantsCheckpoint(slot) {
+			st := captureState(env, eng, slot)
+			st.Protocol = "ST"
+			st.ST = &snapshot.STState{
+				Result:    resultState(&res),
+				Detector:  det.State(),
+				NextMerge: int64(nextMerge),
+				Churned:   churned,
+			}
+			if tree != nil {
+				ts := tree.State()
+				st.ST.Tree = &ts
+			}
+			if repair != nil {
+				ps := repair.State()
+				st.ST.Repair = &ps
+			}
+			if frag != nil {
+				st.ST.Frag = append([]int(nil), frag...)
+			}
+			if flt != nil {
+				fs := &snapshot.STFaultState{
+					LastFired:    make([]int64, len(lastFired)),
+					PresumedDead: append([]bool(nil), presumedDead...),
+					Rebooted:     append([]bool(nil), rebooted...),
+					RepairArmed:  repairArmed,
+					AwaitRepair:  awaitRepair,
+					RepairTries:  repairTries,
+					Synced:       synced,
+					EpisodeOpen:  episodeOpen,
+					EpisodeStart: int64(episodeStart),
+					NextWatch:    int64(nextWatch),
+				}
+				for i, lf := range lastFired {
+					fs.LastFired[i] = int64(lf)
+				}
+				st.ST.Faults = fs
+			}
+			cfg.OnCheckpoint(st)
 		}
-		if nextWatch < next {
-			next = nextWatch
-		}
-		if cfg.FailAt > 0 && !churned && cfg.FailAt > slot && cfg.FailAt < next {
-			next = cfg.FailAt
-		}
-		slot = next
+
+		slot = advance(slot)
 	}
 	eng.finish(finalSlot)
 	if !res.Converged {

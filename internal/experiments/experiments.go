@@ -41,7 +41,9 @@ type Options struct {
 	// Engine selects each run's stepping strategy
 	// (core.Config.Engine): "" or core.EngineSlot steps every slot,
 	// core.EngineEvent skips provably inert slots via next-fire
-	// scheduling. Results are bit-identical for either.
+	// scheduling, and core.EngineAuto switches between the two at period
+	// boundaries based on the observed active-slot ratio. Results are
+	// bit-identical for every choice.
 	Engine string
 	// Configure, when non-nil, post-processes each run's Config (used by
 	// the ablations).

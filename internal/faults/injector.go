@@ -88,6 +88,22 @@ func (inj *Injector) PopDue(slot units.Slot) []Action {
 // Pending reports whether scheduled actions remain unapplied.
 func (inj *Injector) Pending() bool { return inj.cursor < len(inj.actions) }
 
+// Cursor returns the number of actions already applied — the injector's only
+// mutable state (the loss stream's position is tracked by the stream factory).
+func (inj *Injector) Cursor() int { return inj.cursor }
+
+// SetCursor repositions the action cursor; out-of-range values are clamped.
+// Used when restoring a checkpoint over a freshly compiled plan.
+func (inj *Injector) SetCursor(c int) {
+	if c < 0 {
+		c = 0
+	}
+	if c > len(inj.actions) {
+		c = len(inj.actions)
+	}
+	inj.cursor = c
+}
+
 // Filters reports whether the injector can ever drop a delivery — false for
 // plans with neither outages nor loss, letting the engines skip the
 // per-delivery filter entirely (the faults-off hot path).

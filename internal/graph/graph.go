@@ -121,6 +121,34 @@ func (uf *UnionFind) Union(x, y int) bool {
 // Count returns the number of disjoint sets.
 func (uf *UnionFind) Count() int { return uf.count }
 
+// UnionFindState is a serializable copy of a union-find forest. The parent
+// array is captured verbatim (including any path-halving shortcuts) because
+// root identity — not just partition membership — feeds deterministic
+// iteration orders downstream, and rank decides future union winners.
+type UnionFindState struct {
+	Parent []int  `json:"parent"`
+	Rank   []byte `json:"rank"`
+	Count  int    `json:"count"`
+}
+
+// State returns a deep copy of the forest's state.
+func (uf *UnionFind) State() UnionFindState {
+	return UnionFindState{
+		Parent: append([]int(nil), uf.parent...),
+		Rank:   append([]byte(nil), uf.rank...),
+		Count:  uf.count,
+	}
+}
+
+// RestoreUnionFind rebuilds a forest from a saved state.
+func RestoreUnionFind(st UnionFindState) *UnionFind {
+	return &UnionFind{
+		parent: append([]int(nil), st.Parent...),
+		rank:   append([]byte(nil), st.Rank...),
+		count:  st.Count,
+	}
+}
+
 // Connected reports whether x and y are in the same set.
 func (uf *UnionFind) Connected(x, y int) bool { return uf.Find(x) == uf.Find(y) }
 

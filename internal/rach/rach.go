@@ -301,6 +301,13 @@ func (t *Transport) ResetCounters() {
 	t.collisions = 0
 }
 
+// RestoreCounters overwrites the counters and collision tally with saved
+// values, for checkpoint restore.
+func (t *Transport) RestoreCounters(c Counters, collisions uint64) {
+	t.counters = c
+	t.collisions = collisions
+}
+
 // Broadcast transmits one PS from device from, sampling the channel to every
 // candidate neighbour, and returns the deliveries whose RSSI met the
 // threshold. The transmission is counted once regardless of how many

@@ -168,6 +168,40 @@ func (r *Run) Dropped() int {
 	return r.dropped
 }
 
+// RunState is a serializable copy of a Run's accumulation (the sampling
+// interval and ring capacity are configuration, not state, and are not
+// captured — a restore overlays onto a freshly configured Run).
+type RunState struct {
+	Samples []Sample `json:"samples,omitempty"`
+	Dropped int      `json:"dropped,omitempty"`
+	Stepped uint64   `json:"stepped"`
+}
+
+// State captures the run's accumulation; nil for a disabled run.
+func (r *Run) State() *RunState {
+	if r == nil {
+		return nil
+	}
+	return &RunState{Samples: r.Samples(), Dropped: r.dropped, Stepped: r.stepped}
+}
+
+// SetState replays a saved accumulation into the run. Samples are re-recorded
+// oldest first, so when the ring capacities match the restored run's series
+// and drop count are byte-identical to the original's. Nil-safe on both
+// sides; Live counters are not touched (they are process-scoped, not run
+// state).
+func (r *Run) SetState(st *RunState) {
+	if r == nil || st == nil {
+		return
+	}
+	r.next, r.count, r.dropped = 0, 0, 0
+	for _, s := range st.Samples {
+		r.Record(s)
+	}
+	r.dropped = st.Dropped
+	r.stepped = st.Stepped
+}
+
 // Samples returns the retained samples in recording order (oldest first).
 func (r *Run) Samples() []Sample {
 	if r == nil {

@@ -13,6 +13,7 @@ import (
 	"hash/fnv"
 	"math"
 	"math/rand"
+	"sort"
 	"sync"
 )
 
@@ -20,12 +21,64 @@ import (
 // math/rand with the distributions the simulator needs. A Stream is not safe
 // for concurrent use; give each goroutine its own named stream.
 type Stream struct {
-	r *rand.Rand
+	r    *rand.Rand
+	src  *countingSource
+	seed int64
+}
+
+// countingSource wraps the stock math/rand source and counts low-level state
+// advances. It implements both Int63 and Uint64 so rand.New keeps taking the
+// Source64 fast path it takes for a bare rand.NewSource — draw sequences are
+// bit-identical to an unwrapped source. Every generator method of rand.Rand
+// consumes the source one step at a time (Int63 and Uint64 each advance the
+// underlying state by exactly one step), so the counter is a complete cursor:
+// (seed, n) determines all future draws.
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func (c *countingSource) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.n++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.n = 0
 }
 
 // NewStream returns a stream seeded directly with seed.
 func NewStream(seed int64) *Stream {
-	return &Stream{r: rand.New(rand.NewSource(seed))}
+	src := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+	return &Stream{r: rand.New(src), src: src, seed: seed}
+}
+
+// StreamSeed returns the seed the stream was created from.
+func (s *Stream) StreamSeed() int64 { return s.seed }
+
+// Pos returns the stream's cursor: the number of low-level source steps
+// consumed so far. Together with the seed it fully determines the stream's
+// future output, so a snapshot needs only (seed, Pos).
+func (s *Stream) Pos() uint64 { return s.src.n }
+
+// Seek repositions the stream to the absolute cursor pos, counted from the
+// seed. Seeking is O(pos): the source is re-created from the seed and the
+// skipped steps are replayed. After Seek(Pos()) the stream continues exactly
+// as if nothing happened; after Seek(p) with p < Pos() it replays history.
+func (s *Stream) Seek(pos uint64) {
+	src := &countingSource{src: rand.NewSource(s.seed).(rand.Source64)}
+	for i := uint64(0); i < pos; i++ {
+		src.src.Uint64()
+	}
+	src.n = pos
+	s.src = src
+	s.r = rand.New(src)
 }
 
 // Float64 returns a uniform variate in [0,1).
@@ -127,6 +180,45 @@ func (f *Streams) Get(name string) *Stream {
 	s := NewStream(deriveSeed(f.seed, name))
 	f.open[name] = s
 	return s
+}
+
+// Cursor records one named stream's absolute position, for snapshots. The
+// stream itself is reconstructable from the factory's root seed and the
+// name, so (Name, Pos) is all a checkpoint has to carry.
+type Cursor struct {
+	Name string `json:"name"`
+	Pos  uint64 `json:"pos"`
+}
+
+// Cursors returns the cursor of every stream opened so far, sorted by name
+// so snapshots are byte-stable regardless of map iteration order.
+func (f *Streams) Cursors() []Cursor {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]Cursor, 0, len(f.open))
+	for name, s := range f.open {
+		out = append(out, Cursor{Name: name, Pos: s.Pos()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Restore seeks every named stream to its recorded cursor, creating streams
+// that have not been opened yet in this factory. Positions are absolute
+// (counted from the derived seed), so Restore is correct whether the factory
+// is fresh or has already replayed some draws — for example after re-running
+// deterministic setup code before overlaying a snapshot.
+func (f *Streams) Restore(cursors []Cursor) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, c := range cursors {
+		s, ok := f.open[c.Name]
+		if !ok {
+			s = NewStream(deriveSeed(f.seed, c.Name))
+			f.open[c.Name] = s
+		}
+		s.Seek(c.Pos)
+	}
 }
 
 // Fork returns a new factory whose root seed is derived from this factory's
