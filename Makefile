@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-core resume-guard ci bench bench-slot bench-link bench-event bench-record bench-compare bench-telemetry bench-faults sweep examples fuzz clean
+.PHONY: all build test vet race race-core resume-guard ci bench bench-slot bench-shard bench-shard-record bench-link bench-event bench-record bench-compare bench-telemetry bench-faults sweep examples fuzz clean
 
 all: build vet test
 
-# Mirror of .github/workflows/ci.yml: build, vet, tests, then the race
+# Mirror of .github/workflows/ci.yml: build, vet, tests, the race
 # detector over the concurrent packages (sweep pool, parallel optimizer,
-# sharded slot engine).
-ci: build vet test race-core
+# sharded slot engine), then the sharded hot-path regression gate.
+ci: build vet test race-core bench-shard
 
 race-core:
 	$(GO) test -race ./internal/core/... ./internal/firefly/... ./internal/experiments/...
@@ -39,12 +39,39 @@ bench:
 # Sequential vs. sharded slot engine on the core hot path (see
 # EXPERIMENTS.md "Slot engine throughput").
 bench-slot:
-	$(GO) test -bench BenchmarkStepSlot -benchmem ./internal/core/
+	$(GO) test -run '^$$' -bench 'BenchmarkStepSlot/[^/]+/n=(200|1000|5000|20000)$$' -benchmem ./internal/core/
+
+# Sharded-engine regression gate: re-run the sequential and sharded
+# stepping benchmarks at a FIXED iteration count — the slot mix an engine
+# sees depends on b.N, so the gate and the committed record must use the
+# same -benchtime — and fail on a >25% ns/op regression against
+# BENCH_shard.json. All sizes are reported; only n=5000 and n=20000 are
+# gated — 300 slots at n <= 1000 is ~10 ms of measured work, within
+# scheduler noise of the 25% budget, and n=100000 is skipped here to
+# keep `make ci` affordable (it lives in the record via
+# bench-shard-record).
+bench-shard:
+	$(GO) test -run '^$$' -bench 'BenchmarkStepSlot/(seq|shard)/n=(200|1000|5000|20000)$$' -benchtime 300x -benchmem ./internal/core/ \
+		| $(GO) run ./cmd/benchjson -o /tmp/bench-shard.json
+	$(GO) run ./cmd/benchjson -old BENCH_shard.json -new /tmp/bench-shard.json \
+		-match 'BenchmarkStepSlot/(seq|shard)/n=(200|1000|5000|20000)$$'
+	$(GO) run ./cmd/benchjson -old BENCH_shard.json -new /tmp/bench-shard.json \
+		-match 'BenchmarkStepSlot/(seq|shard)/n=(5000|20000)$$' -max-time-regress 25
+
+# Refresh the committed sharded-gate baseline (all sizes, including
+# n=100000, at the gate's fixed iteration count) plus the end-to-end
+# sharded run benchmark.
+bench-shard-record:
+	{ $(GO) test -run '^$$' -bench 'BenchmarkStepSlot/(seq|shard)/' -benchtime 300x -benchmem ./internal/core/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkRunFSTSharded' -benchtime 1x -timeout 60m -benchmem ./internal/core/ ; } \
+		| $(GO) run ./cmd/benchjson -o BENCH_shard.json
+	@cat BENCH_shard.json
 
 # Link-geometry cache hot path: slot engine + cached/direct broadcast,
 # persisted as BENCH_slot.json (ns/op, allocs/op) via cmd/benchjson.
 bench-link:
-	$(GO) test -run '^$$' -bench 'BenchmarkStepSlot|BenchmarkBroadcastCached|BenchmarkBroadcastDirect' -benchmem ./internal/core/ ./internal/rach/ \
+	{ $(GO) test -run '^$$' -bench 'BenchmarkStepSlot/[^/]+/n=(200|1000|5000|20000)$$' -benchmem ./internal/core/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkBroadcastCached|BenchmarkBroadcastDirect' -benchmem ./internal/rach/ ; } \
 		| $(GO) run ./cmd/benchjson -o BENCH_slot.json
 	@cat BENCH_slot.json
 
@@ -53,27 +80,31 @@ bench-link:
 # TestStepSlotDisabledTelemetryAllocs) next to the enabled paths
 # (counters-only and sample-every=100). See DESIGN.md §7.
 bench-telemetry:
-	$(GO) test -run '^$$' -bench 'BenchmarkStepSlot$$|BenchmarkStepSlotTelemetry' -benchmem ./internal/core/
+	$(GO) test -run '^$$' -bench 'BenchmarkStepSlot(Telemetry)?/[^/]+/n=200$$' -benchmem ./internal/core/
 
 # Fault-layer overhead on the slot hot path: nil plan vs. empty plan
 # (boundary checks only — must match nil, also pinned by
 # TestStepSlotEmptyFaultPlanAllocs) vs. an active loss rate (one RNG draw
 # per delivery). See DESIGN.md §9.
 bench-faults:
-	$(GO) test -run '^$$' -bench 'BenchmarkStepSlot$$|BenchmarkStepSlotFaults' -benchmem ./internal/core/
+	$(GO) test -run '^$$' -bench 'BenchmarkStepSlot(Faults)?/[^/]+/n=200$$' -benchmem ./internal/core/
 
 # Whole-run slot vs. event engine: the dense paper configs (where the two
 # are near-identical) and the sparse ProSe-period config (where the event
 # engine skips >99% of slots). See EXPERIMENTS.md "Event engine".
 bench-event:
-	$(GO) test -run '^$$' -bench 'BenchmarkRunFST|BenchmarkRunST' -benchtime 3x -benchmem ./internal/core/
+	$(GO) test -run '^$$' -bench 'BenchmarkRunFST$$|BenchmarkRunST' -benchtime 3x -benchmem ./internal/core/
 
 # Full hot-path record: per-slot + broadcast benchmarks at the default
 # benchtime, whole-run engine benchmarks at a fixed iteration count, all
-# merged into BENCH_slot.json.
+# merged into BENCH_slot.json. The stepping benchmarks stop at n=20000
+# here; n=100000 and the end-to-end sharded runs live in BENCH_shard.json
+# (bench-shard-record), which uses the gate's fixed iteration count.
 bench-record:
-	{ $(GO) test -run '^$$' -bench 'BenchmarkStepSlot|BenchmarkBroadcastCached|BenchmarkBroadcastDirect|BenchmarkSnapshotRoundTrip' -benchmem ./internal/core/ ./internal/rach/ ; \
-	  $(GO) test -run '^$$' -bench 'BenchmarkRunFST|BenchmarkRunST' -benchtime 3x -benchmem ./internal/core/ ; } \
+	{ $(GO) test -run '^$$' -bench 'BenchmarkStepSlot(Faults|Telemetry)?/[^/]+/n=(200|1000|5000|20000)$$' -benchmem ./internal/core/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkSnapshotRoundTrip' -benchmem ./internal/core/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkBroadcastCached|BenchmarkBroadcastDirect' -benchmem ./internal/rach/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkRunFST$$|BenchmarkRunST' -benchtime 3x -benchmem ./internal/core/ ; } \
 		| $(GO) run ./cmd/benchjson -o BENCH_slot.json
 	@cat BENCH_slot.json
 
@@ -82,8 +113,10 @@ bench-record:
 # counts are machine/b.N-dependent, so ungated), then a hard gate on the
 # designed zero-allocation broadcast path.
 bench-compare:
-	{ $(GO) test -run '^$$' -bench 'BenchmarkStepSlot|BenchmarkBroadcastCached|BenchmarkBroadcastDirect|BenchmarkSnapshotRoundTrip' -benchmem ./internal/core/ ./internal/rach/ ; \
-	  $(GO) test -run '^$$' -bench 'BenchmarkRunFST|BenchmarkRunST' -benchtime 3x -benchmem ./internal/core/ ; } \
+	{ $(GO) test -run '^$$' -bench 'BenchmarkStepSlot(Faults|Telemetry)?/[^/]+/n=(200|1000|5000|20000)$$' -benchmem ./internal/core/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkSnapshotRoundTrip' -benchmem ./internal/core/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkBroadcastCached|BenchmarkBroadcastDirect' -benchmem ./internal/rach/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkRunFST$$|BenchmarkRunST' -benchtime 3x -benchmem ./internal/core/ ; } \
 		| $(GO) run ./cmd/benchjson -o /tmp/bench-new.json
 	$(GO) run ./cmd/benchjson -old BENCH_slot.json -new /tmp/bench-new.json
 	$(GO) run ./cmd/benchjson -old BENCH_slot.json -new /tmp/bench-new.json \

@@ -54,6 +54,7 @@ func main() {
 		maxSlots    = flag.Int64("maxslots", 0, "override the per-run slot cap (0 = default)")
 		workers     = flag.Int("workers", 0, "sweep worker pool size (0 = NumCPU)")
 		slotWorkers = flag.Int("slotworkers", 0, "per-run slot engine workers (0/1 = sequential, <0 = NumCPU); results are identical for every value")
+		shards      = flag.Int("shards", 0, "per-run spatial shard count for the slot engine (0 = auto from n and -slotworkers, with a floor that keeps small runs sequential; >=1 forces that many shards); results are identical for every value")
 		engine      = flag.String("engine", "", "stepping strategy: slot steps every slot, event skips inert slots via next-fire scheduling, auto switches between them at period boundaries by observed activity (default slot); results are identical for every choice")
 		csv         = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		plot        = flag.Bool("plot", false, "also draw fig3/fig4 as a terminal line chart")
@@ -131,7 +132,7 @@ func main() {
 	}
 
 	if *cfgPath != "" {
-		if err := runFromManifest(*cfgPath, *proto, *slotWorkers, *engine, *reportPath, plan, vars, ck); err != nil {
+		if err := runFromManifest(*cfgPath, *proto, *slotWorkers, *shards, *engine, *reportPath, plan, vars, ck); err != nil {
 			fmt.Fprintln(os.Stderr, "d2dsim:", err)
 			os.Exit(1)
 		}
@@ -141,7 +142,7 @@ func main() {
 	opts := runOpts{
 		exp: *exp, sizes: *sizesStr, seeds: *seeds, baseSeed: *baseSeed,
 		n: *n, proto: *proto, maxSlots: *maxSlots,
-		workers: *workers, slotWorkers: *slotWorkers, engine: *engine,
+		workers: *workers, slotWorkers: *slotWorkers, shards: *shards, engine: *engine,
 		csv: *csv, plot: *plot, report: *reportPath, faults: plan, vars: vars,
 		checkpoint: ck,
 	}
@@ -162,9 +163,10 @@ type runOpts struct {
 	proto    string // protocol for -exp single
 	maxSlots int64  // per-run slot cap override (0 = default)
 	workers  int    // sweep worker pool size
-	// slotWorkers and engine are per-run throughput knobs; results are
-	// bit-identical for every setting.
+	// slotWorkers, shards and engine are per-run throughput knobs;
+	// results are bit-identical for every setting.
 	slotWorkers int
+	shards      int
 	engine      string
 	csv, plot   bool
 	// report, when set, writes the single run's telemetry report there.
@@ -251,10 +253,10 @@ func loadFaults(path, proto string) (*faults.Plan, error) {
 }
 
 // runFromManifest executes one protocol run pinned by a JSON manifest.
-// Workers and Engine are throughput knobs, not model parameters, so they are
-// not part of the manifest; the flags apply on top and cannot change the
-// result.
-func runFromManifest(path, proto string, slotWorkers int, engine string, report string, plan *faults.Plan, vars *telemetry.Vars, ck checkpointOpts) error {
+// Workers, Shards and Engine are throughput knobs, not model parameters, so
+// they are not part of the manifest; the flags apply on top and cannot
+// change the result.
+func runFromManifest(path, proto string, slotWorkers, shards int, engine string, report string, plan *faults.Plan, vars *telemetry.Vars, ck checkpointOpts) error {
 	m, err := manifest.Load(path)
 	if err != nil {
 		return err
@@ -264,6 +266,7 @@ func runFromManifest(path, proto string, slotWorkers int, engine string, report 
 		return err
 	}
 	cfg.Workers = slotWorkers
+	cfg.Shards = shards
 	cfg.Engine = engine
 	cfg.Faults = plan
 	if err := ck.apply(&cfg, proto); err != nil {
@@ -414,7 +417,7 @@ func run(o runOpts) error {
 		return experiments.RunSweep(experiments.Options{
 			Sizes: sizes, Seeds: seeds, BaseSeed: baseSeed,
 			MaxSlots: units.Slot(maxSlots), Workers: o.workers,
-			SlotWorkers: o.slotWorkers, Engine: engine,
+			SlotWorkers: o.slotWorkers, Shards: o.shards, Engine: engine,
 			OnResult: onResult,
 		})
 	}
@@ -477,7 +480,7 @@ func run(o runOpts) error {
 		rows, err := experiments.RunRecoverySweep(experiments.Options{
 			Sizes: sizes, Seeds: seeds, BaseSeed: baseSeed,
 			MaxSlots: units.Slot(maxSlots), Workers: o.workers,
-			SlotWorkers: o.slotWorkers, Engine: engine,
+			SlotWorkers: o.slotWorkers, Shards: o.shards, Engine: engine,
 		})
 		if err != nil {
 			return err
@@ -602,6 +605,7 @@ func run(o runOpts) error {
 	case "single":
 		cfg := core.PaperConfig(n, baseSeed)
 		cfg.Workers = o.slotWorkers
+		cfg.Shards = o.shards
 		cfg.Engine = engine
 		cfg.Faults = o.faults
 		if maxSlots > 0 {

@@ -70,19 +70,79 @@ func BenchmarkRunSTSparse(b *testing.B) {
 	}
 }
 
-func BenchmarkStepSlot(b *testing.B) {
-	for _, n := range []int{200, 1000, 5000} {
+// BenchmarkRunFSTSharded measures whole FST runs on the sharded slot
+// engine against the sequential reference at sizes where the lazy
+// per-shard stepping pays: past convergence the network fires in a single
+// wave, so all but one shard per slot are skipped via the next-fire
+// minima instead of being ramped device by device. The win is therefore
+// architectural (fewer touched devices), not just parallel — it holds at
+// one worker on a single-core host. Reproduce with `make bench-shard`.
+func BenchmarkRunFSTSharded(b *testing.B) {
+	for _, n := range []int{1000, 5000} {
 		for _, mode := range []struct {
-			name    string
-			workers int
+			name   string
+			shards int
 		}{
-			{"seq", 1},
-			{"par4", 4},
-			{"parNumCPU", -1},
+			{"seq", 0},
+			{"shard", benchShards(n)},
 		} {
 			b.Run(fmt.Sprintf("%s/n=%d", mode.name, n), func(b *testing.B) {
 				cfg := PaperConfig(n, 7)
+				cfg.PeriodSlots = 100
+				cfg.Shards = mode.shards
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					env, err := NewEnv(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					res := FST{}.Run(env)
+					if !res.Converged {
+						b.Fatalf("FST n=%d shards=%d did not converge", n, mode.shards)
+					}
+				}
+			})
+		}
+	}
+}
+
+// benchShards resolves the auto policy at one worker and forces at least
+// one shard, so the sharded modes below measure the sharded engine even at
+// sizes under the auto floor (where the policy would fall back to the
+// sequential reference).
+func benchShards(n int) int {
+	if s := autoShardCount(n, 1); s > 0 {
+		return s
+	}
+	return 1
+}
+
+func BenchmarkStepSlot(b *testing.B) {
+	type mode struct {
+		name    string
+		workers int
+		shards  int
+	}
+	for _, n := range []int{200, 1000, 5000, 20000, 100000} {
+		modes := []mode{
+			{"seq", 1, 0},
+			{"shard", 1, benchShards(n)},
+			{"par4", 4, 0},
+			{"parNumCPU", -1, 0},
+		}
+		if n >= 20000 {
+			// The large sizes measure the lazy sharded stepper against the
+			// sequential reference; the worker-count modes resolve to the
+			// same auto-sharded engine and only re-measure pool overhead.
+			modes = modes[:2]
+		}
+		for _, mode := range modes {
+			b.Run(fmt.Sprintf("%s/n=%d", mode.name, n), func(b *testing.B) {
+				cfg := PaperConfig(n, 7)
 				cfg.Workers = mode.workers
+				cfg.Shards = mode.shards
 				env, err := NewEnv(cfg)
 				if err != nil {
 					b.Fatal(err)

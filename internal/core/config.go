@@ -123,6 +123,19 @@ type Config struct {
 	// run-level for many small ones).
 	Workers int
 
+	// Shards sets the slot engine's spatial shard count: devices partition
+	// into grid-cell-aligned shards whose next-fire state lives in
+	// contiguous struct-of-arrays storage, and per-slot work is scheduled
+	// per shard (a shard whose earliest fire is in the future is skipped
+	// entirely). 0 derives the count from the device count and Workers
+	// (with a floor on devices per shard, so small runs stay on the
+	// sequential reference engine); 1 or more forces that many shards —
+	// including on a single worker, where the sharded engine still pays
+	// off by skipping inert devices. Like Workers this is bit-identical
+	// for every value: a throughput knob, not a model parameter, absent
+	// from manifests.
+	Shards int
+
 	// Engine selects the run engine. "" or EngineSlot steps every slot of
 	// the run (the reference loop, optionally sharded per Workers);
 	// EngineEvent advances oscillator phases lazily and fast-forwards
@@ -315,6 +328,8 @@ func (c Config) Validate() error {
 			c.Coupling.Alpha, c.Coupling.Beta)
 	case c.Engine != "" && c.Engine != EngineSlot && c.Engine != EngineEvent && c.Engine != EngineAuto:
 		return fmt.Errorf("core: unknown engine %q (want %q, %q or %q)", c.Engine, EngineSlot, EngineEvent, EngineAuto)
+	case c.Shards < 0:
+		return fmt.Errorf("core: Shards %d < 0", c.Shards)
 	case c.CheckpointEvery < 0:
 		return fmt.Errorf("core: CheckpointEvery %d < 0", c.CheckpointEvery)
 	case c.ConnectRetryLimit < 0:

@@ -4,40 +4,28 @@ import (
 	"runtime"
 	"sync"
 
-	"repro/internal/device"
 	"repro/internal/faults"
 	"repro/internal/oscillator"
-	"repro/internal/rach"
 	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
-// The sharded slot engine parallelizes stepSlot across a persistent worker
-// pool while staying bit-identical to the sequential loop for any worker
-// count — the deterministic-parallelism recipe internal/firefly proves for
-// the optimizer (frozen snapshot + per-entity streams, after Husselmann &
-// Hawick's GPU formulation), lifted into the core simulator. Each slot runs
-// as three phases separated by barriers:
+// Run-engine selection and shared scaffolding. Three engines drive a run,
+// all bit-identical (the differential suites in parallel_test.go,
+// shard_test.go and eventengine_test.go pin it):
 //
-//	A. advance   — every alive oscillator ramps one slot. RNG-free and
-//	               per-device, so device ranges shard freely; per-shard
-//	               fired lists concatenate in shard order, which equals
-//	               device-index order.
-//	B. transport — one BroadcastPlan per cascade wave. Planning (Tx
-//	               accounting, shared-stream preamble draws) and resolution
-//	               (collision arbitration, Rx accounting) stay sequential;
-//	               the per-sender channel evaluation between them shards
-//	               over senders, each drawing from its own stream.
-//	C. delivery  — decoded PSs apply to receivers. The delivery list is
-//	               receiver-contiguous (Resolve sorts by receiver), so
-//	               sharding over receiver runs gives every receiver's
-//	               state to exactly one worker, in delivery order;
-//	               per-shard op counts and pulse-triggered fires merge at
-//	               the barrier in shard order = delivery order.
+//   - the sequential reference loop (loop.go), stepping every oscillator
+//     every slot — the executable spec;
+//   - the spatially sharded slot engine (shardengine.go), stepping every
+//     slot but only the shards with a fire due, optionally fanning shard
+//     work over the pool below — the deterministic-parallelism recipe
+//     internal/firefly proves for the optimizer (frozen snapshot +
+//     per-entity streams, after Husselmann & Hawick's GPU formulation);
+//   - the event engine (eventengine.go), skipping inert slots entirely.
 //
-// Every merge is ordered by device/delivery index and every random draw
-// comes from a stream owned by one shard (or a shared stream consumed only
-// in the sequential steps), so no result depends on worker scheduling.
+// Every random draw comes from a stream owned by one device (or a shared
+// stream consumed only in sequential steps, in reference order), so no
+// result depends on worker scheduling.
 
 // task is one contiguous shard of work dispatched to the pool.
 type task struct {
@@ -99,6 +87,7 @@ type engine struct {
 	env     *Env
 	pool    *workerPool
 	ev      *eventEngine  // non-nil when Config.Engine selects EngineEvent
+	sh      *shardEngine  // non-nil when the run slot-steps with spatial shards
 	service func(int) int // sender -> service tag, hoisted off the hot path
 
 	// flt is the compiled fault schedule (nil disables the layer); the
@@ -127,17 +116,11 @@ type engine struct {
 	totalSlots  uint64
 	lastSlot    units.Slot
 
-	// Per-worker accumulators, merged in worker order at phase barriers.
-	fired   [][]int  // phase A: devices fired, per shard
-	scratch [][]int  // phase B: per-worker grid candidate buffers
-	next    [][]int  // phase C: pulse-triggered fires, per shard
-	ops     []uint64 // phase C: delivered-pulse counts, per shard
-	runs    [][2]int // phase C: receiver-contiguous delivery runs
-
 	// Slot-level reused buffers: the merged fired list handed back to the
 	// protocol loop (valid until the next stepSlot), and two ping-pong wave
 	// buffers — the cascade reads wave w-1 while filling wave w, so two
-	// buffers alternate without aliasing.
+	// buffers alternate without aliasing. Shared by the sequential and
+	// sharded engines (only one is ever active).
 	firedAll []int
 	waves    [2][]int
 
@@ -189,11 +172,17 @@ func engineWorkers(cfg Config) int {
 }
 
 // newEngine builds the run engine for env. Config.Engine == EngineEvent
-// selects the event-driven engine (always single-threaded). Otherwise a
-// pool is only spun up when the configuration asks for more than one worker
-// and the transport's channel draws are order-independent (per-sender
-// streams or a stateless link sampler); otherwise the engine runs the
-// sequential loop.
+// selects the event-driven engine (always single-threaded). Otherwise the
+// slot path is chosen by the Shards and Workers knobs: an explicit Shards
+// count forces the spatially sharded engine; Shards == 0 with Workers
+// requesting parallelism derives a shard count from the device count (small
+// runs fall back to the sequential reference automatically — the per-shard
+// scheduling overhead only pays above a few hundred devices); Workers 0/1
+// with Shards 0 runs the sequential reference. A worker pool is only spun
+// up for more than one worker when the transport's channel draws are
+// order-independent (per-sender streams or a stateless link sampler);
+// shared-stream transports run the sharded loops inline, which preserves
+// draw order.
 func newEngine(env *Env) *engine {
 	e := &engine{env: env, flt: env.Faults}
 	e.fltFilters = e.flt != nil && e.flt.Filters()
@@ -208,14 +197,18 @@ func newEngine(env *Env) *engine {
 	}
 	w := engineWorkers(env.Cfg)
 	if w > 1 && env.Transport.SenderStreams == nil && env.Transport.LinkSampler == nil {
-		w = 1 // shared-stream draws are order-dependent: sequential only
+		w = 1 // shared-stream draws are order-dependent: inline only
 	}
-	if w > 1 {
-		e.pool = newWorkerPool(w)
-		e.fired = make([][]int, w)
-		e.scratch = make([][]int, w)
-		e.next = make([][]int, w)
-		e.ops = make([]uint64, w)
+	shards := env.Cfg.Shards
+	if shards == 0 && env.Cfg.Workers != 0 && env.Cfg.Workers != 1 {
+		shards = autoShardCount(env.Cfg.N, w)
+	}
+	if shards > 0 {
+		if w > 1 {
+			e.pool = newWorkerPool(w)
+		}
+		e.sh = newShardEngine(e, shards)
+		env.Transport.ReorderLinkIndex(e.sh.sm.order)
 	}
 	return e
 }
@@ -241,10 +234,10 @@ func (e *engine) stepSlot(slot units.Slot, couples couplingRule, opsPerPulse uin
 	switch {
 	case e.ev != nil:
 		fired = e.ev.step(slot, couples, opsPerPulse, ops)
-	case e.pool == nil:
-		fired = e.stepSequential(slot, couples, opsPerPulse, ops)
+	case e.sh != nil:
+		fired = e.sh.step(slot, couples, opsPerPulse, ops)
 	default:
-		fired = e.stepParallel(slot, couples, opsPerPulse, ops)
+		fired = e.stepSequential(slot, couples, opsPerPulse, ops)
 	}
 	if e.auto != nil {
 		if len(fired) > 0 {
@@ -360,9 +353,15 @@ func (e *engine) autoDecide(slot units.Slot) {
 			e.ev = newEventEngine(e)
 		} else if e.ev != nil && ratio > autoToSlotAbove {
 			// Event → slot: materialize every lazy phase at slot, then the
-			// slot stepper takes over seamlessly.
+			// slot stepper takes over seamlessly. A sharded stepper's cached
+			// predictions went stale while the fire queue drove the run, so
+			// rebuild them from the materialized state — the same refresh a
+			// checkpoint restore performs.
 			e.ev.materializeAll(slot)
 			e.ev = nil
+			if e.sh != nil {
+				e.sh.rebuild()
+			}
 		}
 	}
 	a.windowStart = slot
@@ -378,37 +377,63 @@ func (e *engine) wantsCheckpoint(slot units.Slot) bool {
 }
 
 // materialize catches device i's lazily advanced oscillator up to slot,
-// before a protocol hook reads (or overwrites) its Phase. No-op on the slot
-// engines, whose oscillators are always current.
+// before a protocol hook reads (or overwrites) its Phase. No-op on the
+// sequential engine, whose oscillators are always current; the event and
+// sharded engines keep phases lazily materialized.
 func (e *engine) materialize(i int, slot units.Slot) {
-	if e.ev != nil {
+	if e.ev != nil || e.sh != nil {
 		e.env.Devices[i].Osc.AdvanceTo(int64(slot))
 	}
 }
 
 // phaseWritten records that a protocol hook overwrote device i's Phase at
 // slot (sync-word adoption, the BS timing broadcast): the oscillator is
-// rebased there and its scheduled fire recomputed. No-op on the slot
-// engines, where Advance re-detects external writes every slot.
+// rebased there and its scheduled fire recomputed. No-op on the sequential
+// engine, where Advance re-detects external writes every slot.
 func (e *engine) phaseWritten(i int, slot units.Slot) {
-	if e.ev == nil {
+	if e.ev == nil && e.sh == nil {
 		return
 	}
 	e.env.Devices[i].Osc.Rebase(int64(slot))
-	e.ev.reschedule(i)
+	if e.ev != nil {
+		e.ev.reschedule(i)
+	} else {
+		e.sh.refreshLower(i)
+	}
+}
+
+// deschedule removes device id from the active engine's fire schedule after
+// it powers off.
+func (e *engine) deschedule(id int) {
+	if e.ev != nil {
+		e.ev.fq.Remove(id)
+	} else if e.sh != nil {
+		e.sh.drop(id)
+	}
+}
+
+// rescheduleDevice recomputes device id's scheduled fire from its current
+// oscillator state (recovery/join; the oscillator must already be rebased).
+func (e *engine) rescheduleDevice(id int) {
+	if e.ev != nil {
+		e.ev.reschedule(id)
+	} else if e.sh != nil {
+		e.sh.revive(id)
+	}
 }
 
 // dropFailed prunes powered-off devices from the fire schedule after churn.
 // Stale entries would only cost empty catch-up steps (dead devices are
 // skipped on pop), but pruning keeps the event horizon tight.
 func (e *engine) dropFailed() {
-	if e.ev == nil {
-		return
-	}
-	for i, alive := range e.env.Alive {
-		if !alive {
-			e.ev.fq.Remove(i)
+	if e.ev != nil {
+		for i, alive := range e.env.Alive {
+			if !alive {
+				e.ev.fq.Remove(i)
+			}
 		}
+	} else if e.sh != nil {
+		e.sh.dropFailedAll()
 	}
 }
 
@@ -419,6 +444,8 @@ func (e *engine) dropFailed() {
 func (e *engine) resyncAll(slot units.Slot) {
 	if e.ev != nil {
 		e.ev.resyncAll(slot)
+	} else if e.sh != nil {
+		e.sh.resync(slot)
 	}
 }
 
@@ -428,6 +455,8 @@ func (e *engine) resyncAll(slot units.Slot) {
 func (e *engine) materializeAllAt(slot units.Slot) {
 	if e.ev != nil {
 		e.ev.materializeAll(slot)
+	} else if e.sh != nil {
+		e.sh.materializeAll(slot)
 	}
 }
 
@@ -446,126 +475,3 @@ func (e *engine) finish(finalSlot units.Slot) {
 // engine's ratio is the measured sparsity its speedup comes from.
 func (e *engine) slotStats() (active, total uint64) { return e.activeSlots, e.totalSlots }
 
-func (e *engine) stepParallel(slot units.Slot, couples couplingRule, opsPerPulse uint64, ops *uint64) []int {
-	env := e.env
-
-	// Phase A: oscillator advance, sharded over device ranges.
-	for w := range e.fired {
-		e.fired[w] = e.fired[w][:0]
-	}
-	e.pool.run(len(env.Devices), func(w, lo, hi int) {
-		f := e.fired[w]
-		for i := lo; i < hi; i++ {
-			if !env.Alive[i] {
-				continue
-			}
-			if env.Devices[i].Osc.Advance(int64(slot)) {
-				f = append(f, i)
-			}
-		}
-		e.fired[w] = f
-	})
-	fired := e.firedAll[:0]
-	for _, f := range e.fired {
-		fired = append(fired, f...)
-	}
-
-	wave := fired
-	waveBuf := 0
-	for len(wave) > 0 {
-		// Phase B: plan sequentially, evaluate senders in parallel
-		// (each sender's draws come from its own stream), resolve
-		// sequentially.
-		plan := env.Transport.PlanBroadcastAll(wave, rach.RACH1, rach.KindPulse, e.service, slot)
-		e.pool.run(len(wave), func(w, lo, hi int) {
-			sc := e.scratch[w]
-			for k := lo; k < hi; k++ {
-				sc = plan.EvalSender(k, sc)
-			}
-			e.scratch[w] = sc
-		})
-		dels := plan.Resolve()
-		if e.fltFilters {
-			dels = filterFaultDeliveries(e.flt, dels, slot)
-		}
-
-		// Phase C: apply deliveries, sharded over receiver runs so each
-		// receiver's state belongs to exactly one worker and is updated
-		// in delivery order. When the list is not receiver-contiguous
-		// (collision model disabled with several senders) fall back to
-		// the sequential application.
-		buf := waveBuf
-		waveBuf ^= 1
-		next := e.waves[buf][:0]
-		if !plan.ReceiverContiguous() {
-			for _, del := range dels {
-				if !env.Alive[del.To] {
-					continue
-				}
-				recv := env.Devices[del.To]
-				recv.ObservePS(del.Msg.From, del.Msg.RSSI, device.Service(del.Msg.Service))
-				*ops += opsPerPulse
-				if !couples(del.Msg.From, del.To) {
-					continue
-				}
-				if recv.Osc.OnPulse(int64(slot)) {
-					next = append(next, del.To)
-				}
-			}
-		} else {
-			e.runs = e.runs[:0]
-			for i := 0; i < len(dels); {
-				j := i + 1
-				for j < len(dels) && dels[j].To == dels[i].To {
-					j++
-				}
-				e.runs = append(e.runs, [2]int{i, j})
-				i = j
-			}
-			for w := range e.next {
-				e.next[w] = e.next[w][:0]
-				e.ops[w] = 0
-			}
-			e.pool.run(len(e.runs), func(w, lo, hi int) {
-				nx := e.next[w]
-				var delivered uint64
-				for r := lo; r < hi; r++ {
-					for di := e.runs[r][0]; di < e.runs[r][1]; di++ {
-						del := dels[di]
-						if !env.Alive[del.To] {
-							continue // powered-off receivers hear nothing
-						}
-						recv := env.Devices[del.To]
-						recv.ObservePS(del.Msg.From, del.Msg.RSSI, device.Service(del.Msg.Service))
-						delivered++
-						if !couples(del.Msg.From, del.To) {
-							continue
-						}
-						if recv.Osc.OnPulse(int64(slot)) {
-							nx = append(nx, del.To)
-						}
-					}
-				}
-				e.next[w] = nx
-				e.ops[w] = delivered
-			})
-			for w := range e.next {
-				next = append(next, e.next[w]...)
-				*ops += e.ops[w] * opsPerPulse
-			}
-		}
-		e.waves[buf] = next
-		fired = append(fired, next...)
-		wave = next
-	}
-	e.firedAll = fired
-	if env.Cfg.FireTrace != nil {
-		for _, f := range fired {
-			env.Cfg.FireTrace(slot, f)
-		}
-	}
-	if env.Cfg.ProgressTrace != nil && env.Cfg.ProgressEvery > 0 && slot%env.Cfg.ProgressEvery == 0 {
-		env.Cfg.ProgressTrace(slot)
-	}
-	return fired
-}

@@ -48,6 +48,7 @@ type eventEngine struct {
 
 	// Reused buffers, mirroring the sequential engine's.
 	fired []int
+	due   []int
 	waves [2][]int
 
 	// Devices whose oscillator state changed this slot (fired or coupled):
@@ -68,14 +69,18 @@ func newEventEngine(e *engine) *eventEngine {
 		flt:        env.Faults,
 		fltFilters: env.Faults != nil && env.Faults.Filters(),
 	}
+	ids := make([]int, 0, len(env.Devices))
+	ats := make([]units.Slot, 0, len(env.Devices))
 	for i, d := range env.Devices {
 		if !env.Alive[i] {
 			continue
 		}
 		if at, ok := d.Osc.NextFire(); ok {
-			ev.fq.Set(i, units.Slot(at))
+			ids = append(ids, i)
+			ats = append(ats, units.Slot(at))
 		}
 	}
+	ev.fq.Build(ids, ats)
 	return ev
 }
 
@@ -110,15 +115,13 @@ func (ev *eventEngine) nextAfter(after units.Slot) units.Slot {
 func (ev *eventEngine) step(slot units.Slot, couples couplingRule, opsPerPulse uint64, ops *uint64) []int {
 	env := ev.env
 	fired := ev.fired[:0]
-	for {
-		id, at, ok := ev.fq.Peek()
-		if !ok || at > slot {
-			break
-		}
-		if at < slot {
-			panic("core: event engine stepped past a scheduled fire")
-		}
-		ev.fq.Pop()
+	if _, at, ok := ev.fq.Peek(); ok && at < slot {
+		panic("core: event engine stepped past a scheduled fire")
+	}
+	// Drain every entry due this slot in one batched pop; PopAllAt returns
+	// them in ascending device id, the reference fired-list order.
+	ev.due = ev.fq.PopAllAt(slot, ev.due[:0])
+	for _, id := range ev.due {
 		if !env.Alive[id] {
 			continue // powered off after scheduling; dropFailed missed it
 		}

@@ -65,9 +65,7 @@ func (e *engine) applyFaults(slot units.Slot) appliedFaults {
 			// so both engines agree on the corpse's state.
 			e.materialize(a.Device, slot)
 			env.Alive[a.Device] = false
-			if e.ev != nil {
-				e.ev.fq.Remove(a.Device)
-			}
+			e.deschedule(a.Device)
 			out.crashed = append(out.crashed, a.Device)
 			env.Cfg.emit(trace.Event{Slot: slot, Kind: trace.KindChurn, A: a.Device, B: -1})
 		case faults.KindRecover, faults.KindJoin:
@@ -78,9 +76,7 @@ func (e *engine) applyFaults(slot units.Slot) appliedFaults {
 			// Rebase on both engines: the oscillator resumes from its
 			// frozen phase as if the downtime never ramped it.
 			env.Devices[a.Device].Osc.Rebase(int64(slot))
-			if e.ev != nil {
-				e.ev.reschedule(a.Device)
-			}
+			e.rescheduleDevice(a.Device)
 			out.recovered = append(out.recovered, a.Device)
 			env.Cfg.emit(trace.Event{Slot: slot, Kind: trace.KindRecover, A: a.Device, B: -1})
 		case faults.KindClockJump:

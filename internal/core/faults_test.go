@@ -63,6 +63,7 @@ func TestFaultRunsBitIdentical(t *testing.T) {
 				cfg := base
 				cfg.Engine = EngineSlot
 				cfg.Workers = workers
+				cfg.Shards = 4 // below the auto floor; force the sharded engine
 				par, parPhases := fingerprintCfg(t, proto, cfg)
 				label := fmt.Sprintf("%s workers=%d", proto.Name(), workers)
 				compareFingerprints(t, label, seq, par)

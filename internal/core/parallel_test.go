@@ -7,12 +7,14 @@ import (
 	"repro/internal/units"
 )
 
-// Differential pin for the sharded slot engine: for every tested worker
-// count the parallel engine must produce results byte-identical to the
+// Differential pin for the parallel slot path: for every tested worker
+// count the sharded engine must produce results byte-identical to the
 // sequential engine — same fired sequence, same discovery tables, same
-// counters, same ops. Sizes are capped by MaxSlots so the large cases stay
-// affordable; bit-identity does not need convergence, only identical
-// trajectories.
+// counters, same ops. The sizes here sit below the auto-shard floor, so
+// Shards is forced explicitly (the floor would otherwise route them to the
+// sequential engine — TestWorkersAutoPolicy pins that fallback); sizes are
+// capped by MaxSlots so the large cases stay affordable — bit-identity does
+// not need convergence, only identical trajectories.
 
 // fireEvent is one FireTrace callback, in callback order.
 type fireEvent struct {
@@ -26,11 +28,12 @@ type runFingerprint struct {
 	fires []fireEvent
 }
 
-func fingerprint(t *testing.T, proto Protocol, n int, seed int64, maxSlots units.Slot, workers int) runFingerprint {
+func fingerprint(t *testing.T, proto Protocol, n int, seed int64, maxSlots units.Slot, workers, shards int) runFingerprint {
 	t.Helper()
 	cfg := PaperConfig(n, seed)
 	cfg.MaxSlots = maxSlots
 	cfg.Workers = workers
+	cfg.Shards = shards
 	var fires []fireEvent
 	cfg.FireTrace = func(slot units.Slot, dev int) {
 		fires = append(fires, fireEvent{slot: slot, dev: dev})
@@ -99,17 +102,51 @@ func TestParallelEngineBitIdenticalToSequential(t *testing.T) {
 	for _, c := range cases {
 		for _, seed := range seeds {
 			for _, proto := range protocols {
-				seq := fingerprint(t, proto, c.n, seed, c.maxSlots, 1)
+				seq := fingerprint(t, proto, c.n, seed, c.maxSlots, 1, 0)
 				if len(seq.fires) == 0 {
 					t.Fatalf("%s n=%d seed=%d: sequential run produced no fires", proto.Name(), c.n, seed)
 				}
 				for _, workers := range workerCounts {
-					par := fingerprint(t, proto, c.n, seed, c.maxSlots, workers)
+					par := fingerprint(t, proto, c.n, seed, c.maxSlots, workers, 4)
 					label := fmtLabel(proto.Name(), c.n, seed, workers)
 					compareFingerprints(t, label, seq, par)
 				}
 			}
 		}
+	}
+}
+
+// Workers alone, at sizes below the auto-shard floor, must fall back to the
+// sequential engine (the n=5000-regression fix: no more hand-tuned
+// -slotworkers on small runs) — and above the floor must engage sharding.
+// Both paths are observable through the engine internals, and the fallback
+// is also trajectory-identical by construction.
+func TestWorkersAutoPolicy(t *testing.T) {
+	small := PaperConfig(100, 1)
+	small.Workers = -1
+	envS := mustEnv(t, small)
+	eS := newEngine(envS)
+	defer eS.close()
+	if eS.sh != nil || eS.pool != nil {
+		t.Error("n=100 with Workers=-1 should run the sequential reference")
+	}
+
+	large := PaperConfig(1500, 1)
+	large.Workers = -1
+	envL := mustEnv(t, large)
+	eL := newEngine(envL)
+	defer eL.close()
+	if eL.sh == nil {
+		t.Error("n=1500 with Workers=-1 should engage the sharded engine")
+	}
+
+	forced := PaperConfig(100, 1)
+	forced.Shards = 4
+	envF := mustEnv(t, forced)
+	eF := newEngine(envF)
+	defer eF.close()
+	if eF.sh == nil || eF.sh.sm.count != 4 {
+		t.Error("explicit Shards=4 should force the sharded engine")
 	}
 }
 
@@ -130,6 +167,7 @@ func TestParallelEngineBitIdenticalWithoutCaptureModel(t *testing.T) {
 		seq := ST{}.Run(env)
 
 		cfg.Workers = workers
+		cfg.Shards = 4
 		envP := mustEnv(t, cfg)
 		par := ST{}.Run(envP)
 
@@ -145,7 +183,7 @@ func TestParallelEngineBitIdenticalWithoutCaptureModel(t *testing.T) {
 // sequential engine bit for bit (it always does — the knob only changes
 // scheduling).
 func TestWorkersNumCPUMatchesSequential(t *testing.T) {
-	seq := fingerprint(t, ST{}, 50, 9, 2000, 1)
-	par := fingerprint(t, ST{}, 50, 9, 2000, -1)
+	seq := fingerprint(t, ST{}, 50, 9, 2000, 1, 0)
+	par := fingerprint(t, ST{}, 50, 9, 2000, -1, 8)
 	compareFingerprints(t, "ST/workers=NumCPU", seq, par)
 }

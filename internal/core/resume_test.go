@@ -68,11 +68,14 @@ var resumeTargets = []struct {
 	name    string
 	engine  string
 	workers int
+	shards  int
 }{
-	{"slot-w1", EngineSlot, 1},
-	{"slot-w4", EngineSlot, 4},
-	{"event", EngineEvent, 1},
-	{"auto", EngineAuto, 1},
+	{"slot-w1", EngineSlot, 1, 0},
+	{"slot-w4", EngineSlot, 4, 0},
+	{"shard-s4", EngineSlot, 1, 4},
+	{"shard-s4-w4", EngineSlot, 4, 4},
+	{"event", EngineEvent, 1, 0},
+	{"auto", EngineAuto, 1, 0},
 }
 
 func TestResumeBitIdentical(t *testing.T) {
@@ -130,6 +133,7 @@ func TestResumeBitIdentical(t *testing.T) {
 				rCfg := cfg
 				rCfg.Engine = tgt.engine
 				rCfg.Workers = tgt.workers
+				rCfg.Shards = tgt.shards
 				rCfg.Resume = decodeCheckpoint(t, mid)
 				cont, _ := fingerprintCfg(t, c.proto, rCfg)
 				label := fmt.Sprintf("%s/resume@%d/%s", c.proto.Name(), mid.slot, tgt.name)

@@ -102,6 +102,133 @@ func (q *FireQueue) Remove(id int) {
 	q.siftDown(i)
 }
 
+// Build replaces the queue's contents with the given schedule in one O(n)
+// heapify instead of n sifting Sets — the batched construction path for
+// engines that rebuild the whole schedule at once (run start, checkpoint
+// restore, engine handoff). ids must be distinct and within [0, n); at[i]
+// is id ids[i]'s slot.
+func (q *FireQueue) Build(ids []int, at []units.Slot) {
+	if len(ids) != len(at) {
+		panic("eventsim: Build ids/at length mismatch")
+	}
+	for i := range q.pos {
+		q.pos[i] = -1
+	}
+	q.heap = q.heap[:0]
+	for i, id := range ids {
+		q.at[id] = at[i]
+		q.pos[id] = len(q.heap)
+		q.heap = append(q.heap, id)
+	}
+	q.heapify()
+}
+
+// heapify restores the heap property over the whole array in O(n).
+func (q *FireQueue) heapify() {
+	for i := len(q.heap)/2 - 1; i >= 0; i-- {
+		q.siftDown(i)
+	}
+}
+
+// PopAllAt removes every entry scheduled exactly at the given slot and
+// appends their ids to dst in ascending id order — the order repeated Pop
+// calls would yield (the heap ties on id). Entries equal to the minimum form
+// a connected region under the root, so collection is O(k); removal then
+// either pops the k entries (small k) or compacts and re-heapifies the whole
+// array in O(n) (the post-synchrony mega-slot, where k ≈ n and per-entry
+// sifting would cost n·log n).
+func (q *FireQueue) PopAllAt(at units.Slot, dst []int) []int {
+	if len(q.heap) == 0 || q.at[q.heap[0]] != at {
+		return dst
+	}
+	start := len(dst)
+	// Collect the ==at region: a node's parent slot is <= its own, and the
+	// root holds the minimum, so every ==at node is reachable from the root
+	// through ==at nodes only.
+	stack := [64]int{}
+	sp := 0
+	stack[sp] = 0
+	sp++
+	var overflow []int
+	for sp > 0 || len(overflow) > 0 {
+		var i int
+		if sp > 0 {
+			sp--
+			i = stack[sp]
+		} else {
+			i = overflow[len(overflow)-1]
+			overflow = overflow[:len(overflow)-1]
+		}
+		if i >= len(q.heap) || q.at[q.heap[i]] != at {
+			continue
+		}
+		dst = append(dst, q.heap[i])
+		for _, c := range [2]int{2*i + 1, 2*i + 2} {
+			if sp < len(stack) {
+				stack[sp] = c
+				sp++
+			} else {
+				overflow = append(overflow, c)
+			}
+		}
+	}
+	k := len(dst) - start
+	if k*(bitsLen(len(q.heap))+1) < len(q.heap) {
+		// Small batch: per-entry removal is cheaper than a full rebuild.
+		for _, id := range dst[start:] {
+			q.Remove(id)
+		}
+	} else {
+		// Large batch: compact the survivors and re-heapify once.
+		kept := q.heap[:0]
+		for _, id := range q.heap {
+			if q.at[id] != at {
+				kept = append(kept, id)
+			} else {
+				q.pos[id] = -1
+			}
+		}
+		q.heap = kept
+		for i, id := range q.heap {
+			q.pos[id] = i
+		}
+		q.heapify()
+	}
+	sortInts(dst[start:])
+	return dst
+}
+
+// bitsLen returns the bit length of v (≈ log2), the per-removal sift cost.
+func bitsLen(v int) int {
+	n := 0
+	for v > 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// sortInts is an allocation-free shellsort: the collected region comes out
+// roughly heap-ordered (nearly sorted), where the gapped insertion passes
+// degrade gracefully, and it avoids sort.Ints' interface indirection on the
+// per-slot hot path.
+func sortInts(a []int) {
+	gaps := [...]int{701, 301, 132, 57, 23, 10, 4, 1}
+	for _, gap := range gaps {
+		if gap >= len(a) {
+			continue
+		}
+		for i := gap; i < len(a); i++ {
+			v := a[i]
+			j := i
+			for ; j >= gap && a[j-gap] > v; j -= gap {
+				a[j] = a[j-gap]
+			}
+			a[j] = v
+		}
+	}
+}
+
 // less orders heap entries by (slot, device id).
 func (q *FireQueue) less(a, b int) bool {
 	if q.at[a] != q.at[b] {

@@ -75,6 +75,147 @@ func TestFireQueueRemove(t *testing.T) {
 	}
 }
 
+// TestFireQueueBuildMatchesSets pins Build against the equivalent Set loop:
+// same contents, same drain order, and stale prior contents fully replaced.
+func TestFireQueueBuildMatchesSets(t *testing.T) {
+	src := xrand.NewStream(11)
+	const n = 128
+	built := NewFireQueue(n)
+	// Pre-pollute so Build must clear leftovers.
+	for i := 0; i < n; i++ {
+		built.Set(i, units.Slot(src.Intn(50)))
+	}
+	set := NewFireQueue(n)
+	ids := make([]int, 0, n)
+	ats := make([]units.Slot, 0, n)
+	for i := 0; i < n; i++ {
+		if src.Intn(4) == 0 {
+			continue // leave some ids unscheduled
+		}
+		at := units.Slot(1 + src.Intn(300))
+		ids = append(ids, i)
+		ats = append(ats, at)
+		set.Set(i, at)
+	}
+	built.Build(ids, ats)
+	if built.Len() != set.Len() {
+		t.Fatalf("Len = %d, want %d", built.Len(), set.Len())
+	}
+	for set.Len() > 0 {
+		gi, ga, _ := built.Pop()
+		wi, wa, _ := set.Pop()
+		if gi != wi || ga != wa {
+			t.Fatalf("Pop = (%d, %d), want (%d, %d)", gi, ga, wi, wa)
+		}
+	}
+}
+
+// TestFireQueuePopAllAtMatchesPops pins the batched drain against repeated
+// Pop across both removal strategies (small batches sift, large batches
+// compact + re-heapify) and checks the survivors drain identically.
+func TestFireQueuePopAllAtMatchesPops(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		slots    int // distinct slot values; 1 → everything pops at once
+		nonempty bool
+	}{
+		{"small-batches", 40, true},
+		{"mega-slot", 1, true},
+		{"half-and-half", 2, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			src := xrand.NewStream(99)
+			const n = 200
+			batched := NewFireQueue(n)
+			ref := NewFireQueue(n)
+			for i := 0; i < n; i++ {
+				at := units.Slot(5 + src.Intn(tc.slots))
+				batched.Set(i, at)
+				ref.Set(i, at)
+			}
+			buf := make([]int, 0, n)
+			for ref.Len() > 0 {
+				_, at, _ := ref.Peek()
+				var want []int
+				for {
+					id, a, ok := ref.Peek()
+					if !ok || a != at {
+						break
+					}
+					ref.Pop()
+					want = append(want, id)
+				}
+				buf = batched.PopAllAt(at, buf[:0])
+				if len(buf) != len(want) {
+					t.Fatalf("slot %d: PopAllAt returned %d ids, want %d", at, len(buf), len(want))
+				}
+				for k := range buf {
+					if buf[k] != want[k] {
+						t.Fatalf("slot %d: PopAllAt = %v, want %v", at, buf, want)
+					}
+				}
+			}
+			if batched.Len() != 0 {
+				t.Fatalf("batched queue has %d leftovers", batched.Len())
+			}
+			// Draining a slot with nothing due is a no-op.
+			if got := batched.PopAllAt(1, buf[:0]); len(got) != 0 {
+				t.Fatalf("PopAllAt on empty queue returned %v", got)
+			}
+		})
+	}
+}
+
+// TestFireQueuePopAllAtRandomized fuzzes interleaved Set/Remove/PopAllAt
+// against a sort-model and re-verifies the indexed positions stay coherent
+// (Set after a compacting PopAllAt must still reschedule in place).
+func TestFireQueuePopAllAtRandomized(t *testing.T) {
+	src := xrand.NewStream(5)
+	const n = 96
+	q := NewFireQueue(n)
+	model := map[int]units.Slot{}
+	buf := make([]int, 0, n)
+	for round := 0; round < 500; round++ {
+		for op := 0; op < 30; op++ {
+			id := src.Intn(n)
+			if src.Intn(3) == 2 {
+				q.Remove(id)
+				delete(model, id)
+			} else {
+				at := units.Slot(src.Intn(40))
+				q.Set(id, at)
+				model[id] = at
+			}
+		}
+		min := units.Slot(1<<63 - 1)
+		for _, at := range model {
+			if at < min {
+				min = at
+			}
+		}
+		var want []int
+		for id, at := range model {
+			if at == min {
+				want = append(want, id)
+			}
+		}
+		sort.Ints(want)
+		buf = q.PopAllAt(min, buf[:0])
+		if len(buf) != len(want) {
+			t.Fatalf("round %d: PopAllAt(%d) = %v, want %v", round, min, buf, want)
+		}
+		for k := range buf {
+			if buf[k] != want[k] {
+				t.Fatalf("round %d: PopAllAt(%d) = %v, want %v", round, min, buf, want)
+			}
+			delete(model, buf[k])
+		}
+		if q.Len() != len(model) {
+			t.Fatalf("round %d: Len = %d, model %d", round, q.Len(), len(model))
+		}
+	}
+}
+
 // Randomized differential pin against a sort-based model: any mix of Set,
 // reschedule and Remove must drain in exact (slot, id) order.
 func TestFireQueueMatchesSortModel(t *testing.T) {

@@ -38,6 +38,12 @@ type Options struct {
 	// slot-level pays off for few large runs, run-level for many small
 	// ones. Results are bit-identical for every setting.
 	SlotWorkers int
+	// Shards sets each run's spatial shard count (core.Config.Shards):
+	// 0 auto-sizes from n and SlotWorkers (with a devices-per-shard
+	// floor that keeps small runs on the sequential reference), >=1
+	// forces the sharded engine with that many shards. Results are
+	// bit-identical for every setting.
+	Shards int
 	// Engine selects each run's stepping strategy
 	// (core.Config.Engine): "" or core.EngineSlot steps every slot,
 	// core.EngineEvent skips provably inert slots via next-fire
@@ -128,6 +134,7 @@ func RunSweep(opts Options) ([]Row, error) {
 			for j := range jobCh {
 				cfg := core.PaperConfig(j.n, j.seed)
 				cfg.Workers = opts.SlotWorkers
+				cfg.Shards = opts.Shards
 				cfg.Engine = opts.Engine
 				if opts.MaxSlots > 0 {
 					cfg.MaxSlots = opts.MaxSlots

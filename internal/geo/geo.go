@@ -219,6 +219,19 @@ func NewGrid(pts []Point, cell float64) *Grid {
 	return g
 }
 
+// Cells returns the grid's column and row counts. Cell (cx, cy) covers
+// [minX+cx·cell, minX+(cx+1)·cell) × [minY+cy·cell, minY+(cy+1)·cell), with
+// boundary points clamped into the last column/row.
+func (g *Grid) Cells() (cols, rows int) { return g.cols, g.rows }
+
+// CellPoints returns the indices of the points in cell (cx, cy), in
+// insertion order — ascending index when NewGrid received points in index
+// order. The returned slice aliases the grid's bucket; callers must not
+// mutate it. Empty cells return nil.
+func (g *Grid) CellPoints(cx, cy int) []int {
+	return g.bucket[cy*g.cols+cx]
+}
+
 func (g *Grid) key(p Point) int {
 	cx := int((p.X - g.minX) / g.cell)
 	cy := int((p.Y - g.minY) / g.cell)

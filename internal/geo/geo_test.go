@@ -235,6 +235,37 @@ func TestGridZeroCellSizeCoerced(t *testing.T) {
 	}
 }
 
+func TestGridCellEnumeration(t *testing.T) {
+	src := xrand.NewStream(8)
+	pts := UniformDeployment(200, Square(100), src)
+	g := NewGrid(pts, 12)
+	cols, rows := g.Cells()
+	if cols < 1 || rows < 1 {
+		t.Fatalf("Cells = (%d, %d)", cols, rows)
+	}
+	seen := make([]bool, len(pts))
+	for cy := 0; cy < rows; cy++ {
+		for cx := 0; cx < cols; cx++ {
+			prev := -1
+			for _, i := range g.CellPoints(cx, cy) {
+				if seen[i] {
+					t.Fatalf("point %d in two cells", i)
+				}
+				seen[i] = true
+				if i <= prev {
+					t.Fatalf("cell (%d,%d) not in ascending index order", cx, cy)
+				}
+				prev = i
+			}
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("point %d in no cell", i)
+		}
+	}
+}
+
 func TestGridReusesDst(t *testing.T) {
 	pts := []Point{{0, 0}, {1, 1}}
 	g := NewGrid(pts, 5)

@@ -464,6 +464,14 @@ func (o *Oscillator) OnPulse(nowSlot int64) (fired bool) {
 	return false
 }
 
+// QueuedJumps returns the number of reachback PRC corrections queued but not
+// yet matured. The sharded slot engine compares it (with Phase) around an
+// OnPulse to decide whether the pulse changed the trajectory — a refractory
+// or listen-window rejection leaves both untouched, and skipping the
+// next-fire recompute for those keeps the dirty set proportional to actual
+// couplings instead of deliveries.
+func (o *Oscillator) QueuedJumps() int { return len(o.queued) }
+
 // SlotsToFire returns how many Advance calls remain until the oscillator
 // fires from its current phase, assuming no further pulses. It is exact —
 // the prediction comes from the same segment arithmetic Advance steps with.

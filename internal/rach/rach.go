@@ -254,6 +254,17 @@ func (t *Transport) Invalidate() {
 	}
 }
 
+// ReorderLinkIndex repacks the link index's rows into the given device
+// order (see LinkIndex.Reorder) — engines that sweep senders shard-major
+// call it once at construction so a shard's candidate rows are physically
+// contiguous. Bit-neutral: row contents and all lookups are unchanged.
+// No-op when the index is disabled.
+func (t *Transport) ReorderLinkIndex(order []int32) {
+	if t.idx != nil {
+		t.idx.Reorder(order)
+	}
+}
+
 // DisableLinkIndex drops the transport back to direct per-call geometry (grid
 // scan + distance + path loss on every sample). The two paths are bit
 // identical; this exists so differential tests can run the reference side,
