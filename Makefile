@@ -2,14 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-core resume-guard ci bench bench-slot bench-shard bench-shard-record bench-link bench-event bench-record bench-compare bench-telemetry bench-faults sweep examples fuzz clean
+.PHONY: all build test vet race race-core resume-guard ci bench bench-slot bench-shard bench-shard-record bench-sweep bench-sweep-record bench-link bench-event bench-record bench-compare bench-telemetry bench-faults sweep examples fuzz clean
 
 all: build vet test
 
 # Mirror of .github/workflows/ci.yml: build, vet, tests, the race
 # detector over the concurrent packages (sweep pool, parallel optimizer,
-# sharded slot engine), then the sharded hot-path regression gate.
-ci: build vet test race-core bench-shard
+# sharded slot engine), then the sharded hot-path and branching-sweep
+# regression gates.
+ci: build vet test race-core bench-shard bench-sweep
 
 race-core:
 	$(GO) test -race ./internal/core/... ./internal/firefly/... ./internal/experiments/...
@@ -66,6 +67,29 @@ bench-shard-record:
 	  $(GO) test -run '^$$' -bench 'BenchmarkRunFSTSharded' -benchtime 1x -timeout 60m -benchmem ./internal/core/ ; } \
 		| $(GO) run ./cmd/benchjson -o BENCH_shard.json
 	@cat BENCH_shard.json
+
+# Branching-sweep throughput gate: the prefix-planner, env-memoization
+# and result-cache benchmarks re-run at the record's fixed iteration
+# count (branch calibration depends on the probe run, so gate and record
+# must agree on -benchtime) and diffed against BENCH_sweep.json. Only the
+# prefix-planner pair is time-gated: each side is hundreds of
+# milliseconds of measured work, far above scheduler noise, and a >25%
+# ns/op regression there means prefix sharing stopped paying. The cache
+# benchmarks are reported ungated — a fully warm sweep is microseconds
+# of work, within noise of any sane budget.
+bench-sweep:
+	$(GO) test -run '^$$' -bench 'BenchmarkSweepPrefix|BenchmarkEnvMemoized|BenchmarkSweepCached' -benchtime 3x -benchmem ./internal/experiments/ \
+		| $(GO) run ./cmd/benchjson -o /tmp/bench-sweep.json
+	$(GO) run ./cmd/benchjson -old BENCH_sweep.json -new /tmp/bench-sweep.json
+	$(GO) run ./cmd/benchjson -old BENCH_sweep.json -new /tmp/bench-sweep.json \
+		-match 'BenchmarkSweepPrefix/(cold|shared)' -max-time-regress 25
+
+# Refresh the committed branching-sweep baseline at the gate's fixed
+# iteration count.
+bench-sweep-record:
+	$(GO) test -run '^$$' -bench 'BenchmarkSweepPrefix|BenchmarkEnvMemoized|BenchmarkSweepCached' -benchtime 3x -benchmem ./internal/experiments/ \
+		| $(GO) run ./cmd/benchjson -o BENCH_sweep.json
+	@cat BENCH_sweep.json
 
 # Link-geometry cache hot path: slot engine + cached/direct broadcast,
 # persisted as BENCH_slot.json (ns/op, allocs/op) via cmd/benchjson.

@@ -65,6 +65,8 @@ func main() {
 		reportPath  = flag.String("report", "", "write a machine-readable telemetry report (JSON: config digest, result, probe series) of a single/-config run to this file")
 		faultsPath  = flag.String("faults", "", "inject a JSON fault plan (crashes, recoveries, joins, clock jumps, outages, loss) into a single/-config run")
 		telAddr     = flag.String("telemetry-addr", "", "serve live metrics on this address (/metrics Prometheus text, /debug/vars expvar, /debug/pprof/)")
+		prefixSlots = flag.Int64("prefix-slots", -1, "shared checkpoint-prefix reuse cadence for branching sweeps (-exp recovery): the reference run checkpoints in memory every N slots and each derived faulted run resumes from the latest usable checkpoint instead of replaying the shared prefix; -1 auto-selects five firing periods, 0 disables; row results are identical either way")
+		cacheDir    = flag.String("cache-dir", "", "content-addressed result cache directory for sweeps: finished runs are stored under their config digest and identical re-runs are served from the cache instead of re-simulated")
 		ckEvery     = flag.Int64("checkpoint-every", 0, "capture a checkpoint of a single/-config run every N slots (requires -checkpoint)")
 		ckPath      = flag.String("checkpoint", "", "file the latest checkpoint is written to (atomically; each checkpoint replaces the previous one)")
 		resumePath  = flag.String("resume", "", "resume a single/-config run from a checkpoint file; the config and -proto must match the run that wrote it")
@@ -143,6 +145,7 @@ func main() {
 		exp: *exp, sizes: *sizesStr, seeds: *seeds, baseSeed: *baseSeed,
 		n: *n, proto: *proto, maxSlots: *maxSlots,
 		workers: *workers, slotWorkers: *slotWorkers, shards: *shards, engine: *engine,
+		prefixSlots: *prefixSlots, cacheDir: *cacheDir,
 		csv: *csv, plot: *plot, report: *reportPath, faults: plan, vars: vars,
 		checkpoint: ck,
 	}
@@ -168,6 +171,11 @@ type runOpts struct {
 	slotWorkers int
 	shards      int
 	engine      string
+	// prefixSlots arms shared checkpoint-prefix reuse in branching sweeps
+	// (-exp recovery); cacheDir enables the content-addressed result cache.
+	// Both are throughput knobs: sweep rows are identical either way.
+	prefixSlots int64
+	cacheDir    string
 	csv, plot   bool
 	// report, when set, writes the single run's telemetry report there.
 	report string
@@ -397,6 +405,10 @@ func protocolByName(name string) (core.Protocol, error) {
 func run(o runOpts) error {
 	exp, seeds, baseSeed, n := o.exp, o.seeds, o.baseSeed, o.n
 	proto, maxSlots, engine := o.proto, o.maxSlots, o.engine
+	var cache *experiments.ResultCache
+	if o.cacheDir != "" {
+		cache = experiments.NewResultCache(0, o.cacheDir)
+	}
 	emit := func(t *metrics.Table) error {
 		if o.csv {
 			return t.RenderCSV(os.Stdout)
@@ -418,7 +430,7 @@ func run(o runOpts) error {
 			Sizes: sizes, Seeds: seeds, BaseSeed: baseSeed,
 			MaxSlots: units.Slot(maxSlots), Workers: o.workers,
 			SlotWorkers: o.slotWorkers, Shards: o.shards, Engine: engine,
-			OnResult: onResult,
+			OnResult: onResult, Cache: cache,
 		})
 	}
 
@@ -481,6 +493,7 @@ func run(o runOpts) error {
 			Sizes: sizes, Seeds: seeds, BaseSeed: baseSeed,
 			MaxSlots: units.Slot(maxSlots), Workers: o.workers,
 			SlotWorkers: o.slotWorkers, Shards: o.shards, Engine: engine,
+			PrefixSlots: units.Slot(o.prefixSlots), Cache: cache,
 		})
 		if err != nil {
 			return err

@@ -174,6 +174,33 @@ type Config struct {
 	// the same N and Seed (Validate checks N and Seed; the protocol's Run
 	// panics on a protocol mismatch).
 	Resume *snapshot.State
+	// PrefixSlot, when positive, arms the single shared-prefix capture used
+	// by branching sweeps: the run hands OnPrefix one deep state copy taken
+	// at the LAST slot it naturally stepped at or before PrefixSlot. Unlike
+	// CheckpointEvery no boundary is folded into the engines' next-step
+	// horizons — the capture piggybacks on a slot the engine stepped anyway
+	// — so arming it perturbs nothing, not even the event engine's
+	// ActiveSlots accounting. A run that converges before stepping past
+	// PrefixSlot never invokes the hook (callers fall back to from-scratch
+	// branches). Honoured by the distributed protocols (FST, ST);
+	// Centralized ignores it.
+	PrefixSlot units.Slot
+	// OnPrefix receives the prefix capture (see PrefixSlot). The state is a
+	// deep copy; the hook must not mutate simulation state.
+	OnPrefix func(st *snapshot.State)
+	// ForkStreams, when non-empty, reroots every random stream into a fresh
+	// universe derived from (current seeds, label) immediately after the
+	// Resume overlay — the seed-branching primitive: many branches restored
+	// from one prefix snapshot diverge stochastically but reproducibly
+	// (same label, same branch). Requires Resume. A forked run's own
+	// snapshots only restore into a run applying the same fork, so
+	// checkpointing past the fork point is unsupported.
+	ForkStreams string
+	// Geometry, when non-nil, memoizes the expensive half of environment
+	// construction — the transport's link-geometry index — across runs that
+	// share a deployment (see GeometryCache). Sweeps set one cache per
+	// sweep; results are bit-identical with or without it.
+	Geometry *GeometryCache
 
 	// DiscoveryPeriods is how many initial periods ST spends purely on
 	// RSSI neighbour discovery before the first merge phase.
@@ -332,6 +359,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: Shards %d < 0", c.Shards)
 	case c.CheckpointEvery < 0:
 		return fmt.Errorf("core: CheckpointEvery %d < 0", c.CheckpointEvery)
+	case c.PrefixSlot < 0:
+		return fmt.Errorf("core: PrefixSlot %d < 0", c.PrefixSlot)
+	case c.ForkStreams != "" && c.Resume == nil:
+		return fmt.Errorf("core: ForkStreams %q without Resume (stream forking branches off a restored prefix)", c.ForkStreams)
 	case c.ConnectRetryLimit < 0:
 		return fmt.Errorf("core: ConnectRetryLimit %d < 0", c.ConnectRetryLimit)
 	case c.WatchdogPeriods < 0:

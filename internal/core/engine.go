@@ -116,6 +116,9 @@ type engine struct {
 	totalSlots  uint64
 	lastSlot    units.Slot
 
+	// prefixDone latches after the one shared-prefix capture (wantsPrefix).
+	prefixDone bool
+
 	// Slot-level reused buffers: the merged fired list handed back to the
 	// protocol loop (valid until the next stepSlot), and two ping-pong wave
 	// buffers — the cascade reads wave w-1 while filling wave w, so two
@@ -374,6 +377,24 @@ func (e *engine) autoDecide(slot units.Slot) {
 func (e *engine) wantsCheckpoint(slot units.Slot) bool {
 	ce := e.env.Cfg.CheckpointEvery
 	return ce > 0 && e.env.Cfg.OnCheckpoint != nil && slot%ce == 0
+}
+
+// wantsPrefix reports whether the protocol loop should hand out the shared-
+// prefix capture after fully processing slot, given the slot it will step
+// next. The capture lands on the last naturally stepped slot at or before
+// PrefixSlot — no boundary is ever folded into the horizon for it, so arming
+// the prefix hook cannot perturb the trajectory or the ActiveSlots
+// accounting. Fires at most once per run.
+func (e *engine) wantsPrefix(slot, next units.Slot) bool {
+	p := e.env.Cfg.PrefixSlot
+	if p <= 0 || e.env.Cfg.OnPrefix == nil || e.prefixDone {
+		return false
+	}
+	if slot > p || next <= p {
+		return false
+	}
+	e.prefixDone = true
+	return true
 }
 
 // materialize catches device i's lazily advanced oscillator up to slot,

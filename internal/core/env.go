@@ -72,13 +72,23 @@ func newEnv(cfg Config, positions []geo.Point) (*Env, error) {
 		return nil, err
 	}
 	streams := xrand.NewStreams(cfg.Seed)
-	if positions == nil {
+	drawn := positions == nil
+	if drawn {
 		positions = geo.UniformDeployment(cfg.N, cfg.Area, streams.Get("deployment"))
 	}
 	ch := radio.NewChannel(cfg.PathLoss, cfg.ShadowSigmaDB, cfg.Fading, streams)
 	// Candidate margin: 2σ of shadowing keeps strong positive fades
-	// reachable without probing the whole plane.
-	tr := rach.NewTransport(ch, positions, cfg.TxPower, cfg.Threshold, 2*cfg.ShadowSigmaDB)
+	// reachable without probing the whole plane. The geometry memoization
+	// only applies to stream-drawn deployments — a caller-supplied layout
+	// (NewEnvAt) is outside the cache key's (N, Seed, Area) contract — and
+	// is pointless on the direct-geometry test path, which discards the
+	// index anyway.
+	var tr *rach.Transport
+	if cfg.Geometry != nil && drawn && !cfg.directGeometry {
+		tr = cfg.Geometry.newTransport(cfg, ch, positions)
+	} else {
+		tr = rach.NewTransport(ch, positions, cfg.TxPower, cfg.Threshold, 2*cfg.ShadowSigmaDB)
+	}
 	if cfg.directGeometry {
 		tr.DisableLinkIndex()
 	}

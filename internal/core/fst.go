@@ -105,7 +105,13 @@ func (FST) Run(env *Env) Result {
 		lastFired = make([]units.Slot, cfg.N)
 		presumedDead = make([]bool, cfg.N)
 		watchSlots = units.Slot(cfg.watchdogPeriods() * cfg.PeriodSlots)
-		nextWatch = units.Slot(cfg.PeriodSlots)
+		// nextWatch stays unarmed until the first fault action applies: the
+		// watchdog only presumes devices that fired at least once and then
+		// fell silent past watchSlots (> one firing interval), so every
+		// evaluation before the first action is provably a no-op. Arming
+		// lazily keeps the pre-fault trajectory identical to a fault-free
+		// run, which is what lets a fault branch resume from a shared
+		// fault-free prefix checkpoint.
 		// The plan may hold devices down from slot 0 (join actions):
 		// synchrony is judged over the initially-live set.
 		det = oscillator.NewSyncDetector(aliveCnt, cfg.SyncWindowSlots, cfg.StableRounds)
@@ -170,6 +176,19 @@ func (FST) Run(env *Env) Result {
 			synced = ffs.Synced
 			episodeOpen, episodeStart = ffs.EpisodeOpen, units.Slot(ffs.EpisodeStart)
 			nextWatch = units.Slot(ffs.NextWatch)
+		} else if flt != nil {
+			// Fault branch resuming a fault-free prefix snapshot: the
+			// prefix run tracked no fault-layer state, but its join log is
+			// exact (no pruning ever happened), so the parent pointers the
+			// healing prune needs are recoverable from the tree edges.
+			// lastFired stays zero — the watchdog ignores never-heard
+			// devices, and everyone still alive re-registers within one
+			// firing interval, before any plan action can apply (the
+			// planner only shares a prefix when the first action leaves
+			// that much headroom).
+			for _, e := range fs.TreeEdges {
+				parent[e.V] = e.U
+			}
 		}
 		eng.restoreEngineState(rst.Engine)
 		startSlot = advance(units.Slot(rst.Slot))
@@ -184,6 +203,11 @@ func (FST) Run(env *Env) Result {
 				lastFired[f] = slot
 			}
 			if ap := eng.applyFaults(slot); ap.any() {
+				// First applied action arms the watchdog on the same
+				// period-boundary chain eager arming would have reached.
+				if nextWatch == slotHorizonNone {
+					nextWatch = (slot/units.Slot(cfg.PeriodSlots) + 1) * units.Slot(cfg.PeriodSlots)
+				}
 				if synced && !episodeOpen {
 					episodeOpen, episodeStart = true, slot
 				}
@@ -339,8 +363,10 @@ func (FST) Run(env *Env) Result {
 		}
 
 		// Checkpoint after the slot fully settled: a resume continues at
-		// slots strictly after it.
-		if eng.wantsCheckpoint(slot) {
+		// slots strictly after it. The shared-prefix capture reuses the
+		// same path but lands only on a slot the engine stepped anyway
+		// (wantsPrefix), so arming it is trajectory- and accounting-neutral.
+		capture := func() *snapshot.State {
 			st := captureState(env, eng, slot)
 			st.Protocol = "FST"
 			st.FST = &snapshot.FSTState{
@@ -370,10 +396,17 @@ func (FST) Run(env *Env) Result {
 				}
 				st.FST.Faults = ffs
 			}
-			cfg.OnCheckpoint(st)
+			return st
+		}
+		if eng.wantsCheckpoint(slot) {
+			cfg.OnCheckpoint(capture())
 		}
 
-		slot = advance(slot)
+		next := advance(slot)
+		if eng.wantsPrefix(slot, next) {
+			cfg.OnPrefix(capture())
+		}
+		slot = next
 	}
 	eng.finish(finalSlot)
 	if !res.Converged {

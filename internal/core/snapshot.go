@@ -95,6 +95,13 @@ func restoreEnvState(env *Env, st *snapshot.State) {
 		env.Faults.SetCursor(st.FaultCursor)
 	}
 	env.Cfg.Telemetry.SetState(st.Telemetry)
+	// Seed branching: with the prefix state fully overlaid, reroot every
+	// stream into the branch's own universe. Captured stream references
+	// (per-sender pulse streams, the correlated-channel sampler) follow the
+	// reroot in place.
+	if env.Cfg.ForkStreams != "" {
+		env.Streams.Reroot(env.Cfg.ForkStreams)
+	}
 }
 
 // engineState captures the engine's accounting and, for the adaptive engine,

@@ -129,7 +129,14 @@ func (ST) Run(env *Env) Result {
 		presumedDead = make([]bool, cfg.N)
 		rebooted = make([]bool, cfg.N)
 		watchSlots = units.Slot(cfg.watchdogPeriods() * cfg.PeriodSlots)
-		nextWatch = units.Slot(cfg.PeriodSlots)
+		// The watchdog arms lazily, at the first applied fault action: it
+		// can only ever convict after a crash silenced somebody (live
+		// oscillators fire at most two periods apart, well inside the
+		// ≥3-period patience), so the pre-action period boundaries it used
+		// to visit were provably no-ops — and not visiting them keeps the
+		// pre-fault trajectory (and the event engine's ActiveSlots
+		// accounting) identical to the fault-free run, which is what lets a
+		// fault branch resume from a fault-free shared-prefix snapshot.
 		// The plan may hold devices down from slot 0 (join actions):
 		// synchrony is judged over the initially-live set.
 		det = oscillator.NewSyncDetector(env.AliveCount(), cfg.SyncWindowSlots, cfg.StableRounds)
@@ -240,6 +247,11 @@ func (ST) Run(env *Env) Result {
 				lastFired[f] = slot
 			}
 			if ap := eng.applyFaults(slot); ap.any() {
+				// First fault action: arm the watchdog at the next
+				// period boundary (the same kT chain it always ran on).
+				if nextWatch == slotHorizonNone {
+					nextWatch = (slot/units.Slot(cfg.PeriodSlots) + 1) * units.Slot(cfg.PeriodSlots)
+				}
 				// Membership or clocks changed: synchrony must be
 				// re-established over the new live set. An episode
 				// opens only when detected synchrony was actually
@@ -424,8 +436,10 @@ func (ST) Run(env *Env) Result {
 		}
 
 		// Checkpoint after the slot fully settled: a resume continues at
-		// slots strictly after it.
-		if eng.wantsCheckpoint(slot) {
+		// slots strictly after it. The shared-prefix capture reuses the
+		// same path but lands only on a slot the engine stepped anyway
+		// (wantsPrefix), so arming it is trajectory- and accounting-neutral.
+		capture := func() *snapshot.State {
 			st := captureState(env, eng, slot)
 			st.Protocol = "ST"
 			st.ST = &snapshot.STState{
@@ -463,10 +477,17 @@ func (ST) Run(env *Env) Result {
 				}
 				st.ST.Faults = fs
 			}
-			cfg.OnCheckpoint(st)
+			return st
+		}
+		if eng.wantsCheckpoint(slot) {
+			cfg.OnCheckpoint(capture())
 		}
 
-		slot = advance(slot)
+		next := advance(slot)
+		if eng.wantsPrefix(slot, next) {
+			cfg.OnPrefix(capture())
+		}
+		slot = next
 	}
 	eng.finish(finalSlot)
 	if !res.Converged {

@@ -52,13 +52,35 @@ type Options struct {
 	// bit-identical for every choice.
 	Engine string
 	// Configure, when non-nil, post-processes each run's Config (used by
-	// the ablations).
+	// the ablations). It must be a pure function of its input: the sweep
+	// shares one geometry memoization across all runs, whose contract is
+	// that runs with equal (N, Seed, Area, TxPower, Threshold,
+	// ShadowSigmaDB) use the same path-loss model.
 	Configure func(*core.Config)
 	// OnResult, when non-nil, observes every finished run (live telemetry:
 	// `d2dsim -telemetry-addr` feeds its metric registry from here). Called
 	// concurrently from the sweep workers — implementations must be
-	// goroutine-safe and must not mutate the Result.
+	// goroutine-safe and must not mutate the Result. It fires exactly once
+	// per observed run whether the Result was simulated or served from
+	// Cache — a cached hit is still one logical run of the sweep.
 	OnResult func(n int, protocol string, res core.Result)
+	// PrefixSlots, when non-zero, arms shared checkpoint-prefix reuse in
+	// the drivers that derive branch runs from a reference trajectory
+	// (RunRecoverySweep): the reference run checkpoints in memory at this
+	// slot cadence (negative: an automatic cadence of five firing
+	// periods), and each derived faulted run resumes from the latest
+	// usable checkpoint instead of re-simulating the shared prefix from
+	// slot 1. Row results are bit-identical with or without it (the only
+	// run observable it can shift is the engine-dependent
+	// ActiveSlots/TotalSlots pair, which recovery rows do not carry).
+	// RunSweep ignores it — its jobs share no trajectory, only geometry.
+	PrefixSlots units.Slot
+	// Cache, when non-nil, short-circuits runs whose content-addressed key
+	// (CacheKey) already holds a Result — in memory, or in the cache's
+	// directory tier from an earlier process. Runs whose configuration the
+	// key cannot represent (live hooks, resumed states) are simulated
+	// unconditionally and never stored.
+	Cache *ResultCache
 }
 
 // DefaultOptions mirrors the paper's sweep: 50 to 1000 devices at the
@@ -123,9 +145,25 @@ func RunSweep(opts Options) ([]Row, error) {
 		}
 	}
 
+	// One geometry memoization per sweep: the FST and ST member of a job
+	// pair (and every seed-sharing variant) deploy the same world, so the
+	// link-geometry pass runs once per distinct (n, seed) instead of once
+	// per run. Safe because Configure is a pure function of its input (see
+	// the Options doc), so PathLoss is uniform per cache key.
+	geom := core.NewGeometryCache()
+
 	jobCh := make(chan job)
 	outCh := make(chan outcome, len(jobs))
 	errCh := make(chan error, workers)
+	// abort unblocks the producer when a worker bails: without it, workers
+	// exiting on error while the producer is parked on the unbuffered jobCh
+	// send would deadlock the sweep (regression-tested in prefix_test.go).
+	abort := make(chan struct{})
+	var abortOnce sync.Once
+	fail := func(err error) {
+		errCh <- err
+		abortOnce.Do(func() { close(abort) })
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -142,12 +180,29 @@ func RunSweep(opts Options) ([]Row, error) {
 				if opts.Configure != nil {
 					opts.Configure(&cfg)
 				}
+				cfg.Geometry = geom
+				key, cacheable := "", false
+				if opts.Cache != nil {
+					key, cacheable = CacheKey(cfg, j.proto.Name())
+					if cacheable {
+						if res, hit := opts.Cache.Get(key); hit {
+							if opts.OnResult != nil {
+								opts.OnResult(j.n, j.proto.Name(), res)
+							}
+							outCh <- outcome{n: j.n, fst: j.proto.Name() == "FST", res: res}
+							continue
+						}
+					}
+				}
 				env, err := core.NewEnv(cfg)
 				if err != nil {
-					errCh <- err
+					fail(err)
 					return
 				}
 				res := j.proto.Run(env)
+				if cacheable {
+					opts.Cache.Put(key, res)
+				}
 				if opts.OnResult != nil {
 					opts.OnResult(j.n, j.proto.Name(), res)
 				}
@@ -155,8 +210,13 @@ func RunSweep(opts Options) ([]Row, error) {
 			}
 		}()
 	}
+feed:
 	for _, j := range jobs {
-		jobCh <- j
+		select {
+		case jobCh <- j:
+		case <-abort:
+			break feed
+		}
 	}
 	close(jobCh)
 	wg.Wait()

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/metrics"
+	"repro/internal/snapshot"
 	"repro/internal/units"
 )
 
@@ -23,6 +24,12 @@ import (
 
 // recoveryKillFraction is the share of devices the derived plan crashes.
 const recoveryKillFraction = 5 // kill n/5 = 20%
+
+// recoveryPrefixRing bounds the rolling in-memory checkpoint ring a
+// reference run keeps for shared-prefix reuse (Options.PrefixSlots): deep
+// state copies are not free, and only the newest checkpoint at or before the
+// convergence slot is ever resumed from.
+const recoveryPrefixRing = 8
 
 // RecoveryRow is one recovery-sweep point: per-protocol summaries across
 // seeds.
@@ -77,6 +84,10 @@ func RunRecoverySweep(opts Options) ([]RecoveryRow, error) {
 		}
 	}
 
+	// Reference and faulted run of a job share a deployment; the geometry
+	// memoization builds it once per (n, seed).
+	geom := core.NewGeometryCache()
+
 	type recOutcome struct {
 		n         int
 		fst       bool
@@ -86,6 +97,13 @@ func RunRecoverySweep(opts Options) ([]RecoveryRow, error) {
 	jobCh := make(chan job)
 	outCh := make(chan recOutcome, len(jobs))
 	errCh := make(chan error, workers)
+	// See RunSweep: abort unblocks the producer when a worker exits early.
+	abort := make(chan struct{})
+	var abortOnce sync.Once
+	fail := func(err error) {
+		errCh <- err
+		abortOnce.Do(func() { close(abort) })
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -103,18 +121,60 @@ func RunRecoverySweep(opts Options) ([]RecoveryRow, error) {
 					if opts.Configure != nil {
 						opts.Configure(&cfg)
 					}
+					cfg.Geometry = geom
 					return cfg
 				}
 				run := func(cfg core.Config) (core.Result, error) {
+					key, cacheable := "", false
+					if opts.Cache != nil {
+						key, cacheable = CacheKey(cfg, j.proto.Name())
+						if cacheable {
+							if res, hit := opts.Cache.Get(key); hit {
+								return res, nil
+							}
+						}
+					}
 					env, err := core.NewEnv(cfg)
 					if err != nil {
 						return core.Result{}, err
 					}
-					return j.proto.Run(env), nil
+					res := j.proto.Run(env)
+					if cacheable {
+						opts.Cache.Put(key, res)
+					}
+					return res, nil
 				}
-				ref, err := run(build())
+				// Shared-prefix reuse (Options.PrefixSlots): the reference
+				// run keeps a rolling ring of in-memory checkpoints. The
+				// derived plan's crash wave lands two periods after the
+				// observed convergence slot, so any checkpoint at or before
+				// that slot satisfies the prefix-shareability margin (first
+				// action >= resume slot + 2 periods) and the faulted run can
+				// resume from it instead of replaying the whole pre-fault
+				// trajectory. RecoveryRow carries no ActiveSlots, so the
+				// checkpoint-boundary stepping the reference run adds (and
+				// the resumed run's inherited accounting) shifts nothing a
+				// row reports — prefix_test.go pins row equality.
+				refCfg := build()
+				var ring []*snapshot.State
+				if opts.PrefixSlots != 0 {
+					cadence := opts.PrefixSlots
+					if cadence < 0 { // auto: five firing periods
+						cadence = 5 * units.Slot(refCfg.PeriodSlots)
+					}
+					refCfg.CheckpointEvery = cadence
+					refCfg.OnCheckpoint = func(st *snapshot.State) {
+						if len(ring) >= recoveryPrefixRing {
+							copy(ring, ring[1:])
+							ring[len(ring)-1] = st
+							return
+						}
+						ring = append(ring, st)
+					}
+				}
+				ref, err := run(refCfg)
 				if err != nil {
-					errCh <- err
+					fail(err)
 					return
 				}
 				out := recOutcome{n: j.n, fst: j.proto.Name() == "FST"}
@@ -122,9 +182,15 @@ func RunRecoverySweep(opts Options) ([]RecoveryRow, error) {
 					if plan := recoveryPlan(build(), ref.ConvergenceSlots); plan != nil {
 						cfg := build()
 						cfg.Faults = plan
+						for i := len(ring) - 1; i >= 0; i-- {
+							if units.Slot(ring[i].Slot) <= ref.ConvergenceSlots {
+								cfg.Resume = ring[i]
+								break
+							}
+						}
 						res, err := run(cfg)
 						if err != nil {
-							errCh <- err
+							fail(err)
 							return
 						}
 						out.attempted = true
@@ -138,8 +204,13 @@ func RunRecoverySweep(opts Options) ([]RecoveryRow, error) {
 			}
 		}()
 	}
+feed:
 	for _, j := range jobs {
-		jobCh <- j
+		select {
+		case jobCh <- j:
+		case <-abort:
+			break feed
+		}
 	}
 	close(jobCh)
 	wg.Wait()

@@ -237,6 +237,38 @@ func NewTransport(ch *radio.Channel, positions []geo.Point, txPower, threshold u
 	return t
 }
 
+// NewTransportShared is NewTransport with the link-geometry pass replaced by
+// an already-built index: the spatial grid is still constructed (the direct
+// fallback paths and beyond-radius queries need it), but buildLinkIndex — the
+// grid query plus one log10 per directed candidate pair that dominates
+// environment construction — is skipped. idx must describe exactly the
+// deployment, channel model and powers passed here (take it from
+// CloneLinkIndex of a transport built with identical inputs); the transport
+// takes ownership and may Reorder it. Every lookup, row and draw downstream
+// is bit-identical to a NewTransport-built instance.
+func NewTransportShared(ch *radio.Channel, positions []geo.Point, txPower, threshold units.DBm, marginDB float64, idx *LinkIndex) *Transport {
+	reach := radio.MaxRange(ch.Model, txPower.Add(units.DB(marginDB)), threshold, 1e6)
+	t := &Transport{
+		Channel:   ch,
+		Threshold: threshold,
+		TxPower:   txPower,
+		positions: positions,
+		reach:     reach,
+	}
+	cell := float64(t.reach)
+	if cell <= 0 {
+		cell = 1
+	}
+	t.grid = geo.NewGrid(positions, cell)
+	t.idx = idx
+	return t
+}
+
+// CloneLinkIndex returns a deep copy of the transport's link-geometry index
+// in its current row order, or nil when the index is disabled. Cloned before
+// any Reorder, it is the canonical build NewTransportShared expects.
+func (t *Transport) CloneLinkIndex() *LinkIndex { return t.idx.Clone() }
+
 // Invalidate rebuilds the spatial grid and the link-geometry cache from the
 // transport's current positions. NewTransport calls it once; callers that
 // re-point or mutate the deployment (mobility snapshots, tests) must call it
