@@ -2,15 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-core resume-guard ci bench bench-slot bench-shard bench-shard-record bench-sweep bench-sweep-record bench-link bench-event bench-record bench-compare bench-telemetry bench-faults sweep examples fuzz clean
+.PHONY: all build test vet race race-core resume-guard ci bench bench-slot bench-shard bench-shard-record bench-sweep bench-sweep-record bench-link bench-event bench-record bench-compare bench-telemetry bench-faults bench-runstats bench-runstats-record sweep examples fuzz clean
 
 all: build vet test
 
 # Mirror of .github/workflows/ci.yml: build, vet, tests, the race
 # detector over the concurrent packages (sweep pool, parallel optimizer,
-# sharded slot engine), then the sharded hot-path and branching-sweep
-# regression gates.
-ci: build vet test race-core bench-shard bench-sweep
+# sharded slot engine), then the sharded hot-path, branching-sweep and
+# runstats-overhead regression gates.
+ci: build vet test race-core bench-shard bench-sweep bench-runstats
 
 race-core:
 	$(GO) test -race ./internal/core/... ./internal/firefly/... ./internal/experiments/...
@@ -90,6 +90,29 @@ bench-sweep-record:
 	$(GO) test -run '^$$' -bench 'BenchmarkSweepPrefix|BenchmarkEnvMemoized|BenchmarkSweepCached' -benchtime 3x -benchmem ./internal/experiments/ \
 		| $(GO) run ./cmd/benchjson -o BENCH_sweep.json
 	@cat BENCH_sweep.json
+
+# Runstats overhead gate: the off/on stepping benchmarks re-run at a
+# FIXED iteration count and the enabled path is gated WITHIN the same
+# record against its disabled partner (benchjson -pair), so host-speed
+# variance cancels and a 5% budget is meaningful where a cross-record
+# gate would drown in scheduler noise. Only n=5000 is gated (seconds of
+# measured work per side; n=200 is ~70 ms, reported but inside noise).
+# The cross-record diff against BENCH_runstats.json is informational.
+# The disabled path's allocation bound is pinned separately by
+# TestStepSlotDisabledRunStatsAllocs in the plain test run.
+bench-runstats:
+	$(GO) test -run '^$$' -bench 'BenchmarkStepSlotRunStats/(off|on)/n=(200|5000)$$' -benchtime 2000x -benchmem ./internal/core/ \
+		| $(GO) run ./cmd/benchjson -o /tmp/bench-runstats.json
+	$(GO) run ./cmd/benchjson -old BENCH_runstats.json -new /tmp/bench-runstats.json
+	$(GO) run ./cmd/benchjson -in /tmp/bench-runstats.json -pair '/off/=/on/' \
+		-match 'n=5000$$' -max-pair-regress 5
+
+# Refresh the committed runstats-overhead baseline at the gate's fixed
+# iteration count.
+bench-runstats-record:
+	$(GO) test -run '^$$' -bench 'BenchmarkStepSlotRunStats/(off|on)/n=(200|5000)$$' -benchtime 2000x -benchmem ./internal/core/ \
+		| $(GO) run ./cmd/benchjson -o BENCH_runstats.json
+	@cat BENCH_runstats.json
 
 # Link-geometry cache hot path: slot engine + cached/direct broadcast,
 # persisted as BENCH_slot.json (ns/op, allocs/op) via cmd/benchjson.

@@ -24,6 +24,18 @@
 // a nonzero exit, which is how CI gates the hot path. -match restricts the
 // comparison to names matching a regexp, so the gate can cover only the
 // benchmarks whose counts are stable at CI's short iteration budget.
+//
+// With -in and -pair it instead compares benchmarks WITHIN one record:
+//
+//	benchjson -in /tmp/bench.json -pair '/off/=/on/' -max-pair-regress 5
+//
+// Every benchmark whose name contains the CAND fragment (right of "=") is
+// matched to a baseline partner — the name with the first CAND occurrence
+// replaced by BASE — and the pair's ns/op delta is printed. Because both
+// sides come from the same run on the same machine, host-speed variance
+// cancels, which is what makes a tight percentage budget (an
+// instrumentation-overhead gate) meaningful where a cross-record gate
+// would drown in noise.
 package main
 
 import (
@@ -181,18 +193,92 @@ func compare(w *bufio.Writer, oldPath, newPath string, match *regexp.Regexp, max
 	return violations, nil
 }
 
+// comparePairs diffs baseline/candidate benchmark pairs inside one record.
+// pair is "BASE=CAND": every benchmark whose stripped name contains CAND is
+// compared against the name with CAND's first occurrence replaced by BASE.
+// maxPair is the ns/op regression budget in percent (negative disables);
+// the return value counts violations.
+func comparePairs(w *bufio.Writer, inPath, pair string, match *regexp.Regexp, maxPair float64) (violations int, err error) {
+	base, cand, ok := strings.Cut(pair, "=")
+	if !ok || base == "" || cand == "" {
+		return 0, fmt.Errorf("-pair must be 'BASE=CAND', got %q", pair)
+	}
+	byName, order, err := loadResults(inPath)
+	if err != nil {
+		return 0, err
+	}
+	fmt.Fprintf(w, "%-52s %14s %14s %9s\n", "benchmark pair", "base ns/op", "cand ns/op", "time")
+	paired := 0
+	for _, name := range order {
+		if !strings.Contains(name, cand) {
+			continue
+		}
+		if match != nil && !match.MatchString(name) {
+			continue
+		}
+		partner := strings.Replace(name, cand, base, 1)
+		b, ok := byName[partner]
+		if !ok {
+			fmt.Fprintf(w, "%-52s  (no %q partner in %s)\n", name, partner, inPath)
+			continue
+		}
+		paired++
+		c := byName[name]
+		dt := pct(b.NsPerOp, c.NsPerOp)
+		mark := ""
+		if maxPair >= 0 && dt > maxPair {
+			mark = "  PAIR REGRESSION"
+			violations++
+		}
+		fmt.Fprintf(w, "%-52s %14.0f %14.0f %+8.1f%%%s\n", name, b.NsPerOp, c.NsPerOp, dt, mark)
+	}
+	if paired == 0 {
+		return violations, fmt.Errorf("no %q/%q pairs found in %s", base, cand, inPath)
+	}
+	return violations, nil
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	oldPath := flag.String("old", "", "baseline JSON record (enables compare mode with -new)")
 	newPath := flag.String("new", "", "candidate JSON record (enables compare mode with -old)")
+	inPath := flag.String("in", "", "JSON record for within-record -pair mode")
+	pairStr := flag.String("pair", "", "within-record pair gate: 'BASE=CAND' name fragments (requires -in)")
 	matchStr := flag.String("match", "", "compare only benchmarks whose name matches this regexp")
 	maxTime := flag.Float64("max-time-regress", -1, "fail if ns/op regresses by more than this percent (negative disables)")
 	maxAlloc := flag.Float64("max-alloc-regress", -1, "fail if allocs/op regresses by more than this percent (negative disables)")
+	maxPair := flag.Float64("max-pair-regress", -1, "fail if a -pair candidate's ns/op exceeds its baseline by more than this percent (negative disables)")
 	flag.Parse()
 
 	if (*oldPath == "") != (*newPath == "") {
 		fmt.Fprintln(os.Stderr, "benchjson: -old and -new must be given together")
 		os.Exit(1)
+	}
+	if (*inPath == "") != (*pairStr == "") {
+		fmt.Fprintln(os.Stderr, "benchjson: -in and -pair must be given together")
+		os.Exit(1)
+	}
+	if *inPath != "" {
+		var match *regexp.Regexp
+		if *matchStr != "" {
+			var err error
+			if match, err = regexp.Compile(*matchStr); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson: -match:", err)
+				os.Exit(1)
+			}
+		}
+		w := bufio.NewWriter(os.Stdout)
+		violations, err := comparePairs(w, *inPath, *pairStr, match, *maxPair)
+		w.Flush()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if violations > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d pair regression(s) above threshold\n", violations)
+			os.Exit(1)
+		}
+		return
 	}
 	if *oldPath != "" {
 		var match *regexp.Regexp

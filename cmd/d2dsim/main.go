@@ -26,11 +26,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -70,8 +72,16 @@ func main() {
 		ckEvery     = flag.Int64("checkpoint-every", 0, "capture a checkpoint of a single/-config run every N slots (requires -checkpoint)")
 		ckPath      = flag.String("checkpoint", "", "file the latest checkpoint is written to (atomically; each checkpoint replaces the previous one)")
 		resumePath  = flag.String("resume", "", "resume a single/-config run from a checkpoint file; the config and -proto must match the run that wrote it")
+		runStats    = flag.Bool("runstats", false, "collect and print engine self-measurement for a single/-config run: per-phase time attribution, per-shard load imbalance, fire-queue depth/batch distributions, checkpoint cost; results are bit-identical with or without it")
+		progress    = flag.Bool("progress", false, "stream one JSONL progress line per completed sweep job to stderr (done/total, cache reuse, prefix resumption, elapsed wall time)")
+		version     = flag.Bool("version", false, "print build info (module, VCS revision, Go version) and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(manifest.CollectBuildInfo())
+		return
+	}
 
 	ck := checkpointOpts{every: *ckEvery, path: *ckPath, resume: *resumePath}
 	if err := ck.check(); err != nil {
@@ -134,7 +144,7 @@ func main() {
 	}
 
 	if *cfgPath != "" {
-		if err := runFromManifest(*cfgPath, *proto, *slotWorkers, *shards, *engine, *reportPath, plan, vars, ck); err != nil {
+		if err := runFromManifest(*cfgPath, *proto, *slotWorkers, *shards, *engine, *reportPath, plan, vars, ck, *runStats); err != nil {
 			fmt.Fprintln(os.Stderr, "d2dsim:", err)
 			os.Exit(1)
 		}
@@ -147,7 +157,7 @@ func main() {
 		workers: *workers, slotWorkers: *slotWorkers, shards: *shards, engine: *engine,
 		prefixSlots: *prefixSlots, cacheDir: *cacheDir,
 		csv: *csv, plot: *plot, report: *reportPath, faults: plan, vars: vars,
-		checkpoint: ck,
+		checkpoint: ck, runStats: *runStats, progress: *progress,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "d2dsim:", err)
@@ -186,6 +196,12 @@ type runOpts struct {
 	// checkpoint carries the -checkpoint-every/-checkpoint/-resume flags,
 	// applied to single runs only.
 	checkpoint checkpointOpts
+	// runStats arms engine self-measurement on single/-config runs; the
+	// sweep drivers' concurrent workers would race on one accumulator, so
+	// sweeps expose cache counters and -progress instead.
+	runStats bool
+	// progress streams JSONL per-job progress lines to stderr on sweeps.
+	progress bool
 }
 
 // checkpointOpts wires the checkpoint/resume flags into a single run.
@@ -209,7 +225,8 @@ func (c checkpointOpts) check() error {
 // config itself is cross-checked by cfg.Validate via N, seed and slot cap)
 // and installs the checkpoint writer. Each checkpoint atomically replaces the
 // -checkpoint file, so an interrupted run leaves the latest complete one.
-func (c checkpointOpts) apply(cfg *core.Config, proto string) error {
+// rs, when non-nil, receives the sink-side encode cost of each checkpoint.
+func (c checkpointOpts) apply(cfg *core.Config, proto string, rs *telemetry.RunStats) error {
 	if c.resume != "" {
 		data, err := os.ReadFile(c.resume)
 		if err != nil {
@@ -228,7 +245,7 @@ func (c checkpointOpts) apply(cfg *core.Config, proto string) error {
 		cfg.CheckpointEvery = units.Slot(c.every)
 		path := c.path
 		cfg.OnCheckpoint = func(st *snapshot.State) {
-			if err := writeCheckpoint(path, st); err != nil {
+			if err := writeCheckpoint(path, st, rs); err != nil {
 				fmt.Fprintln(os.Stderr, "d2dsim: checkpoint:", err)
 			}
 		}
@@ -236,11 +253,13 @@ func (c checkpointOpts) apply(cfg *core.Config, proto string) error {
 	return nil
 }
 
-func writeCheckpoint(path string, st *snapshot.State) error {
+func writeCheckpoint(path string, st *snapshot.State, rs *telemetry.RunStats) error {
+	t0 := time.Now()
 	data, err := snapshot.Encode(st)
 	if err != nil {
 		return err
 	}
+	rs.AddEncode(len(data), time.Since(t0))
 	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return err
@@ -264,7 +283,7 @@ func loadFaults(path, proto string) (*faults.Plan, error) {
 // Workers, Shards and Engine are throughput knobs, not model parameters, so
 // they are not part of the manifest; the flags apply on top and cannot
 // change the result.
-func runFromManifest(path, proto string, slotWorkers, shards int, engine string, report string, plan *faults.Plan, vars *telemetry.Vars, ck checkpointOpts) error {
+func runFromManifest(path, proto string, slotWorkers, shards int, engine string, report string, plan *faults.Plan, vars *telemetry.Vars, ck checkpointOpts, runStats bool) error {
 	m, err := manifest.Load(path)
 	if err != nil {
 		return err
@@ -277,7 +296,12 @@ func runFromManifest(path, proto string, slotWorkers, shards int, engine string,
 	cfg.Shards = shards
 	cfg.Engine = engine
 	cfg.Faults = plan
-	if err := ck.apply(&cfg, proto); err != nil {
+	var rs *telemetry.RunStats
+	if runStats {
+		rs = telemetry.NewRunStats()
+		cfg.RunStats = rs
+	}
+	if err := ck.apply(&cfg, proto, rs); err != nil {
 		return err
 	}
 	telRun := attachTelemetry(&cfg, report, vars)
@@ -295,10 +319,38 @@ func runFromManifest(path, proto string, slotWorkers, shards int, engine string,
 	printSlotRatio(engine, res)
 	printRecovery(plan, res)
 	recordSingle(vars, cfg.N, res)
+	printRunStats(rs, vars)
 	if report != "" {
-		return writeReport(report, p.Name(), engine, m, telRun, res, env.Transport.Collisions())
+		return writeReport(report, p.Name(), engine, m, telRun, rs, res, env.Transport.Collisions())
 	}
 	return nil
+}
+
+// printRunStats renders the engine attribution table of a finished run and
+// folds the accumulation into the live registry (both nil-safe).
+func printRunStats(rs *telemetry.RunStats, vars *telemetry.Vars) {
+	if rs == nil {
+		return
+	}
+	fmt.Print(rs.Report().FormatTable())
+	rs.Publish(vars)
+}
+
+// printCacheStats reports how well the sweep-level caches worked — the
+// geometry memoization every driver shares and the result cache when one is
+// attached — and folds the counters into the live registry so /metrics
+// carries them too.
+func printCacheStats(cache *experiments.ResultCache, geom *core.GeometryCache, vars *telemetry.Vars) {
+	if hits, misses := geom.Stats(); hits+misses > 0 {
+		fmt.Printf("geometry cache: %d hits, %d misses\n", hits, misses)
+		vars.SetGeometryCacheStats(hits, misses)
+	}
+	if cache != nil {
+		hits, misses := cache.Stats()
+		evictions := cache.Evictions()
+		fmt.Printf("result cache: %d hits, %d misses, %d evictions\n", hits, misses, evictions)
+		vars.SetResultCacheStats(hits, misses, evictions)
+	}
 }
 
 // attachTelemetry wires a telemetry run into cfg when either observability
@@ -323,9 +375,10 @@ func recordSingle(vars *telemetry.Vars, n int, res core.Result) {
 }
 
 // writeReport assembles and writes the machine-readable run report: schema,
-// protocol, config identity (digest + embedded manifest), result scalars and
-// the probe series.
-func writeReport(path, proto, engine string, m manifest.Manifest, telRun *telemetry.Run, res core.Result, collisions uint64) error {
+// protocol, config identity (digest + embedded manifest), result scalars,
+// the probe series, the engine attribution section (when -runstats
+// collected one) and the producing binary's build provenance.
+func writeReport(path, proto, engine string, m manifest.Manifest, telRun *telemetry.Run, rs *telemetry.RunStats, res core.Result, collisions uint64) error {
 	if engine == "" {
 		engine = core.EngineSlot
 	}
@@ -340,6 +393,10 @@ func writeReport(path, proto, engine string, m manifest.Manifest, telRun *teleme
 	}
 	rep.ConfigDigest = digest
 	rep.Manifest = raw
+	rep.RunStats = rs.Report()
+	if bi := manifest.CollectBuildInfo(); bi != (telemetry.BuildInfo{}) {
+		rep.Build = &bi
+	}
 	if err := rep.WriteFile(path); err != nil {
 		return err
 	}
@@ -409,6 +466,13 @@ func run(o runOpts) error {
 	if o.cacheDir != "" {
 		cache = experiments.NewResultCache(0, o.cacheDir)
 	}
+	var progW io.Writer
+	if o.progress {
+		progW = os.Stderr
+	}
+	// The sweeps' geometry memoization is owned here so its hit/miss
+	// counters can be surfaced after the run (and on /metrics).
+	geom := core.NewGeometryCache()
 	emit := func(t *metrics.Table) error {
 		if o.csv {
 			return t.RenderCSV(os.Stdout)
@@ -431,6 +495,7 @@ func run(o runOpts) error {
 			MaxSlots: units.Slot(maxSlots), Workers: o.workers,
 			SlotWorkers: o.slotWorkers, Shards: o.shards, Engine: engine,
 			OnResult: onResult, Cache: cache,
+			Progress: progW, Geometry: geom,
 		})
 	}
 
@@ -494,11 +559,16 @@ func run(o runOpts) error {
 			MaxSlots: units.Slot(maxSlots), Workers: o.workers,
 			SlotWorkers: o.slotWorkers, Shards: o.shards, Engine: engine,
 			PrefixSlots: units.Slot(o.prefixSlots), Cache: cache,
+			Progress: progW, Geometry: geom,
 		})
 		if err != nil {
 			return err
 		}
-		return emit(experiments.RecoveryTable(rows))
+		if err := emit(experiments.RecoveryTable(rows)); err != nil {
+			return err
+		}
+		printCacheStats(cache, geom, o.vars)
+		return nil
 	case "energy":
 		rows, err := sweep()
 		if err != nil {
@@ -510,7 +580,11 @@ func run(o runOpts) error {
 		if err != nil {
 			return err
 		}
-		return emit(experiments.ActivityTable(rows))
+		if err := emit(experiments.ActivityTable(rows)); err != nil {
+			return err
+		}
+		printCacheStats(cache, geom, o.vars)
+		return nil
 	case "ablation-shadowing":
 		t, err := experiments.AblationShadowing(n, seeds, baseSeed)
 		if err != nil {
@@ -624,7 +698,12 @@ func run(o runOpts) error {
 		if maxSlots > 0 {
 			cfg.MaxSlots = units.Slot(maxSlots)
 		}
-		if err := o.checkpoint.apply(&cfg, proto); err != nil {
+		var rs *telemetry.RunStats
+		if o.runStats {
+			rs = telemetry.NewRunStats()
+			cfg.RunStats = rs
+		}
+		if err := o.checkpoint.apply(&cfg, proto, rs); err != nil {
 			return err
 		}
 		telRun := attachTelemetry(&cfg, o.report, o.vars)
@@ -647,6 +726,7 @@ func run(o runOpts) error {
 				len(res.TreeEdges), res.TreePhases, res.TreeWeight)
 		}
 		recordSingle(o.vars, cfg.N, res)
+		printRunStats(rs, o.vars)
 		if o.report != "" {
 			// The single run is exactly manifest.Default(n, seed) with the
 			// slot-cap override, so the embedded manifest re-executes it.
@@ -654,7 +734,7 @@ func run(o runOpts) error {
 			if maxSlots > 0 {
 				m.MaxSlots = maxSlots
 			}
-			return writeReport(o.report, p.Name(), engine, m, telRun, res, env.Transport.Collisions())
+			return writeReport(o.report, p.Name(), engine, m, telRun, rs, res, env.Transport.Collisions())
 		}
 		return nil
 	default:

@@ -80,10 +80,12 @@ func (Centralized) Run(env *Env) Result {
 	for cur := startSlot; cur <= bound; cur = slotEng.nextStep(cur) {
 		slotEng.stepSlot(cur, couples, 1, &res.Ops)
 		if slotEng.wantsCheckpoint(cur) {
-			st := captureState(env, slotEng, cur)
-			st.Protocol = "BS"
-			st.BS = &snapshot.BSState{Result: resultState(&res)}
-			cfg.OnCheckpoint(st)
+			slotEng.runCheckpoint(func() *snapshot.State {
+				st := captureState(env, slotEng, cur)
+				st.Protocol = "BS"
+				st.BS = &snapshot.BSState{Result: resultState(&res)}
+				return st
+			})
 		}
 	}
 	// Catch lazily advanced phases up to the discovery boundary: phase 2

@@ -259,6 +259,21 @@ type Config struct {
 	// manifests do not carry it.
 	Telemetry *telemetry.Run
 
+	// RunStats, when non-nil, enables engine self-measurement
+	// (telemetry.RunStats): monotonic wall time attributed to the slot
+	// pipeline's phases, per-shard busy time, the event engine's fire-queue
+	// depth and drain-batch distributions, and checkpoint capture/encode
+	// cost. A nil RunStats costs one pointer check per probe site and the
+	// hot path keeps its 1 alloc/op steady state (pinned by
+	// TestStepSlotDisabledRunStatsAllocs); an enabled one only reads the
+	// monotonic clock — it never draws from a random stream, reorders work
+	// or folds a boundary into an engine horizon, so results are
+	// bit-identical with runstats on or off (pinned differentially by
+	// runstats_test.go across engines, shard counts, worker counts and
+	// fault plans). Like Telemetry it is an observability knob, not a model
+	// parameter: manifests do not carry it and result-cache keys refuse it.
+	RunStats *telemetry.RunStats
+
 	// FailAt, when positive, injects post-setup churn: the devices in
 	// FailSet power off at that slot (no earlier than the protocol's
 	// topology phase completing — failures during tree construction are

@@ -3,9 +3,11 @@ package core
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/faults"
 	"repro/internal/oscillator"
+	"repro/internal/snapshot"
 	"repro/internal/telemetry"
 	"repro/internal/units"
 )
@@ -95,6 +97,12 @@ type engine struct {
 	// path for plans with neither outages nor loss.
 	flt        *faults.Injector
 	fltFilters bool
+
+	// rs caches Config.RunStats (nil = disabled): the engines' timing
+	// probes cost one nil check each when off, and only monotonic-clock
+	// reads when on — never an RNG draw or a reordering, so trajectories
+	// are identical either way.
+	rs *telemetry.RunStats
 
 	// Telemetry probe hooks, set by the protocol before its loop starts:
 	// fragFn reports the current fragment/component count, protoTx the
@@ -187,7 +195,7 @@ func engineWorkers(cfg Config) int {
 // shared-stream transports run the sharded loops inline, which preserves
 // draw order.
 func newEngine(env *Env) *engine {
-	e := &engine{env: env, flt: env.Faults}
+	e := &engine{env: env, flt: env.Faults, rs: env.Cfg.RunStats}
 	e.fltFilters = e.flt != nil && e.flt.Filters()
 	e.service = func(sender int) int { return int(env.Devices[sender].Service) }
 	if env.Cfg.Engine == EngineEvent {
@@ -237,10 +245,13 @@ func (e *engine) stepSlot(slot units.Slot, couples couplingRule, opsPerPulse uin
 	switch {
 	case e.ev != nil:
 		fired = e.ev.step(slot, couples, opsPerPulse, ops)
+		e.rs.SlotStepped(telemetry.PathEvent)
 	case e.sh != nil:
 		fired = e.sh.step(slot, couples, opsPerPulse, ops)
+		e.rs.SlotStepped(telemetry.PathShard)
 	default:
 		fired = e.stepSequential(slot, couples, opsPerPulse, ops)
+		e.rs.SlotStepped(telemetry.PathSeq)
 	}
 	if e.auto != nil {
 		if len(fired) > 0 {
@@ -377,6 +388,20 @@ func (e *engine) autoDecide(slot units.Slot) {
 func (e *engine) wantsCheckpoint(slot units.Slot) bool {
 	ce := e.env.Cfg.CheckpointEvery
 	return ce > 0 && e.env.Cfg.OnCheckpoint != nil && slot%ce == 0
+}
+
+// runCheckpoint captures a checkpoint and hands it to the OnCheckpoint
+// hook, attributing the capture+hook wall time when runstats is enabled.
+// The capture runs either way — timing observes it, never gates it.
+func (e *engine) runCheckpoint(capture func() *snapshot.State) {
+	var t0 time.Time
+	if e.rs != nil {
+		t0 = time.Now()
+	}
+	e.env.Cfg.OnCheckpoint(capture())
+	if e.rs != nil {
+		e.rs.AddCheckpoint(time.Since(t0))
+	}
 }
 
 // wantsPrefix reports whether the protocol loop should hand out the shared-

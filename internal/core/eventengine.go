@@ -1,10 +1,13 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/device"
 	"repro/internal/eventsim"
 	"repro/internal/faults"
 	"repro/internal/rach"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -46,6 +49,9 @@ type eventEngine struct {
 	flt        *faults.Injector
 	fltFilters bool
 
+	// rs mirrors engine.rs (nil = runstats disabled).
+	rs *telemetry.RunStats
+
 	// Reused buffers, mirroring the sequential engine's.
 	fired []int
 	due   []int
@@ -68,6 +74,7 @@ func newEventEngine(e *engine) *eventEngine {
 		dirtySlot:  make([]units.Slot, len(env.Devices)),
 		flt:        env.Faults,
 		fltFilters: env.Faults != nil && env.Faults.Filters(),
+		rs:         e.rs,
 	}
 	ids := make([]int, 0, len(env.Devices))
 	ats := make([]units.Slot, 0, len(env.Devices))
@@ -114,6 +121,13 @@ func (ev *eventEngine) nextAfter(after units.Slot) units.Slot {
 // non-inert slot — a contract violation worth failing loud on.
 func (ev *eventEngine) step(slot units.Slot, couples couplingRule, opsPerPulse uint64, ops *uint64) []int {
 	env := ev.env
+	rs := ev.rs
+	var t0 time.Time
+	var depth int
+	if rs != nil {
+		t0 = time.Now()
+		depth = ev.fq.Len()
+	}
 	fired := ev.fired[:0]
 	if _, at, ok := ev.fq.Peek(); ok && at < slot {
 		panic("core: event engine stepped past a scheduled fire")
@@ -131,6 +145,12 @@ func (ev *eventEngine) step(slot units.Slot, couples couplingRule, opsPerPulse u
 		fired = append(fired, id)
 		ev.markDirty(id, slot)
 	}
+	if rs != nil {
+		rs.ObserveQueue(depth, len(ev.due))
+		t1 := time.Now()
+		rs.AddPhase(telemetry.PhaseAdvance, t1.Sub(t0))
+		t0 = t1
+	}
 	wave := fired
 	waveBuf := 0
 	for len(wave) > 0 {
@@ -140,6 +160,11 @@ func (ev *eventEngine) step(slot units.Slot, couples couplingRule, opsPerPulse u
 		dels := env.Transport.BroadcastAll(wave, rach.RACH1, rach.KindPulse, ev.service, slot)
 		if ev.fltFilters {
 			dels = filterFaultDeliveries(ev.flt, dels, slot)
+		}
+		if rs != nil {
+			t1 := time.Now()
+			rs.AddPhase(telemetry.PhasePlan, t1.Sub(t0))
+			t0 = t1
 		}
 		for _, del := range dels {
 			if !env.Alive[del.To] {
@@ -157,6 +182,11 @@ func (ev *eventEngine) step(slot units.Slot, couples couplingRule, opsPerPulse u
 				next = append(next, del.To)
 			}
 		}
+		if rs != nil {
+			t1 := time.Now()
+			rs.AddPhase(telemetry.PhaseDeliver, t1.Sub(t0))
+			t0 = t1
+		}
 		ev.waves[buf] = next
 		fired = append(fired, next...)
 		wave = next
@@ -168,6 +198,9 @@ func (ev *eventEngine) step(slot units.Slot, couples couplingRule, opsPerPulse u
 		}
 	}
 	ev.dirty = ev.dirty[:0]
+	if rs != nil {
+		rs.AddPhase(telemetry.PhaseRefresh, time.Since(t0))
+	}
 	if env.Cfg.FireTrace != nil {
 		for _, f := range fired {
 			env.Cfg.FireTrace(slot, f)

@@ -399,7 +399,7 @@ func (FST) Run(env *Env) Result {
 			return st
 		}
 		if eng.wantsCheckpoint(slot) {
-			cfg.OnCheckpoint(capture())
+			eng.runCheckpoint(capture)
 		}
 
 		next := advance(slot)

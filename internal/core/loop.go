@@ -1,8 +1,11 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/device"
 	"repro/internal/rach"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/units"
 )
@@ -37,6 +40,14 @@ type couplingRule func(sender, receiver int) bool
 // steady-state loop allocates nothing.
 func (e *engine) stepSequential(slot units.Slot, couples couplingRule, opsPerPulse uint64, ops *uint64) []int {
 	env := e.env
+	// Runstats timing chains timestamps: each measured interval ends where
+	// the next begins, so an instrumented slot pays one clock read per
+	// phase boundary and the disabled path one nil check each.
+	rs := e.rs
+	var t0 time.Time
+	if rs != nil {
+		t0 = time.Now()
+	}
 	fired := e.firedAll[:0]
 	for i, d := range env.Devices {
 		if !env.Alive[i] {
@@ -45,6 +56,11 @@ func (e *engine) stepSequential(slot units.Slot, couples couplingRule, opsPerPul
 		if d.Osc.Advance(int64(slot)) {
 			fired = append(fired, i)
 		}
+	}
+	if rs != nil {
+		t1 := time.Now()
+		rs.AddPhase(telemetry.PhaseAdvance, t1.Sub(t0))
+		t0 = t1
 	}
 	wave := fired
 	waveBuf := 0
@@ -55,6 +71,11 @@ func (e *engine) stepSequential(slot units.Slot, couples couplingRule, opsPerPul
 		dels := env.Transport.BroadcastAll(wave, rach.RACH1, rach.KindPulse, e.service, slot)
 		if e.fltFilters {
 			dels = filterFaultDeliveries(e.flt, dels, slot)
+		}
+		if rs != nil {
+			t1 := time.Now()
+			rs.AddPhase(telemetry.PhasePlan, t1.Sub(t0))
+			t0 = t1
 		}
 		for _, del := range dels {
 			if !env.Alive[del.To] {
@@ -69,6 +90,11 @@ func (e *engine) stepSequential(slot units.Slot, couples couplingRule, opsPerPul
 			if recv.Osc.OnPulse(int64(slot)) {
 				next = append(next, del.To)
 			}
+		}
+		if rs != nil {
+			t1 := time.Now()
+			rs.AddPhase(telemetry.PhaseDeliver, t1.Sub(t0))
+			t0 = t1
 		}
 		e.waves[buf] = next
 		fired = append(fired, next...)

@@ -2,11 +2,13 @@ package core
 
 import (
 	"sort"
+	"time"
 
 	"repro/internal/device"
 	"repro/internal/geo"
 	"repro/internal/oscillator"
 	"repro/internal/rach"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -109,6 +111,7 @@ func newShardEngine(e *engine, shards int) *shardEngine {
 		}
 	}
 	sh.recomputeMins()
+	e.rs.SetShards(sm.count)
 	return sh
 }
 
@@ -222,6 +225,14 @@ func (sh *shardEngine) materializeAll(slot units.Slot) {
 // within-shard roster is id-sorted). Fired members are marked dirty; their
 // predictions refresh after the cascade.
 func (sh *shardEngine) advanceShard(s int, slot units.Slot) {
+	// Per-shard busy timing is race-free under the pool: within a phase
+	// each shard is processed by exactly one worker, so ShardWorked's
+	// writes always target distinct elements.
+	rs := sh.eng.rs
+	var t0 time.Time
+	if rs != nil {
+		t0 = time.Now()
+	}
 	lo, hi := sh.sm.span(s)
 	mem := sh.bulk.AdvanceAll(lo, hi, int64(slot), sh.firedMem[s][:0])
 	sh.firedMem[s] = mem
@@ -232,6 +243,9 @@ func (sh *shardEngine) advanceShard(s int, slot units.Slot) {
 		sh.markDirty(id, slot)
 	}
 	sh.firedSh[s] = ids
+	if rs != nil {
+		rs.ShardWorked(s, time.Since(t0))
+	}
 }
 
 // deliverShard runs phase C for one shard: apply this wave's deliveries to
@@ -244,6 +258,11 @@ func (sh *shardEngine) advanceShard(s int, slot units.Slot) {
 // the distinction that keeps the dense pre-synchronization regime (every
 // device hearing every wave) from recomputing n predictions per slot.
 func (sh *shardEngine) deliverShard(s int, dels []rach.Delivery, couples couplingRule, slot units.Slot) {
+	rs := sh.eng.rs
+	var t0 time.Time
+	if rs != nil {
+		t0 = time.Now()
+	}
 	env := sh.env
 	nx := sh.nextSh[s][:0]
 	var delivered uint64
@@ -273,6 +292,9 @@ func (sh *shardEngine) deliverShard(s int, dels []rach.Delivery, couples couplin
 	}
 	sh.nextSh[s] = nx
 	sh.opsSh[s] = delivered
+	if rs != nil {
+		rs.ShardWorked(s, time.Since(t0))
+	}
 }
 
 // step advances the whole network one slot on the sharded engine.
@@ -280,6 +302,11 @@ func (sh *shardEngine) step(slot units.Slot, couples couplingRule, opsPerPulse u
 	env := sh.env
 	e := sh.eng
 	s64 := int64(slot)
+	rs := e.rs
+	var t0 time.Time
+	if rs != nil {
+		t0 = time.Now()
+	}
 
 	// Phase A: advance the shards with a fire due, skip the rest.
 	act := sh.active[:0]
@@ -313,6 +340,11 @@ func (sh *shardEngine) step(slot units.Slot, couples couplingRule, opsPerPulse u
 			sort.Ints(fired) // restore the reference's id-ascending wave order
 		}
 	}
+	if rs != nil {
+		t1 := time.Now()
+		rs.AddPhase(telemetry.PhaseAdvance, t1.Sub(t0))
+		t0 = t1
+	}
 
 	wave := fired
 	waveBuf := 0
@@ -339,6 +371,11 @@ func (sh *shardEngine) step(slot units.Slot, couples couplingRule, opsPerPulse u
 		dels := plan.Resolve()
 		if e.fltFilters {
 			dels = filterFaultDeliveries(e.flt, dels, slot)
+		}
+		if rs != nil {
+			t1 := time.Now()
+			rs.AddPhase(telemetry.PhasePlan, t1.Sub(t0))
+			t0 = t1
 		}
 
 		// Phase C: apply deliveries. The receiver-sorted list buckets into
@@ -413,6 +450,11 @@ func (sh *shardEngine) step(slot units.Slot, couples couplingRule, opsPerPulse u
 				sort.Ints(next) // receiver-ascending = the reference's append order
 			}
 		}
+		if rs != nil {
+			t1 := time.Now()
+			rs.AddPhase(telemetry.PhaseDeliver, t1.Sub(t0))
+			t0 = t1
+		}
 		e.waves[buf] = next
 		fired = append(fired, next...)
 		wave = next
@@ -433,6 +475,9 @@ func (sh *shardEngine) step(slot units.Slot, couples couplingRule, opsPerPulse u
 		sh.dirtySh[s] = dirty[:0]
 		lo, hi := sh.sm.span(s)
 		sh.min[s] = sh.bulk.NextFireMin(lo, hi)
+	}
+	if rs != nil {
+		rs.AddPhase(telemetry.PhaseRefresh, time.Since(t0))
 	}
 
 	if env.Cfg.FireTrace != nil {

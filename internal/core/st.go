@@ -480,7 +480,7 @@ func (ST) Run(env *Env) Result {
 			return st
 		}
 		if eng.wantsCheckpoint(slot) {
-			cfg.OnCheckpoint(capture())
+			eng.runCheckpoint(capture)
 		}
 
 		next := advance(slot)

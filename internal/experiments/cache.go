@@ -100,14 +100,16 @@ type cacheManifest struct {
 //
 //   - Resume / ForkStreams: the run starts mid-trajectory or branches its
 //     randomness; the key has no way to address the prior history.
-//   - Telemetry, FireTrace, ProgressTrace, EventTrace, OnCheckpoint,
-//     OnPrefix: a cache hit skips the run, so live observers would silently
-//     see nothing.
+//   - Telemetry, RunStats, FireTrace, ProgressTrace, EventTrace,
+//     OnCheckpoint, OnPrefix: a cache hit skips the run, so live observers
+//     would silently see nothing (for RunStats: a hit records no engine
+//     time, so an attached accumulator would report a run that never
+//     executed).
 func CacheKey(cfg core.Config, protocol string) (key string, ok bool) {
 	if cfg.Resume != nil || cfg.ForkStreams != "" {
 		return "", false
 	}
-	if cfg.Telemetry != nil || cfg.FireTrace != nil || cfg.ProgressTrace != nil ||
+	if cfg.Telemetry != nil || cfg.RunStats != nil || cfg.FireTrace != nil || cfg.ProgressTrace != nil ||
 		cfg.EventTrace != nil || cfg.OnCheckpoint != nil || cfg.OnPrefix != nil {
 		return "", false
 	}
@@ -195,6 +197,7 @@ type ResultCache struct {
 	dir   string
 	hits  uint64
 	miss  uint64
+	evict uint64
 }
 
 type cacheItem struct {
@@ -223,6 +226,15 @@ func (c *ResultCache) Stats() (hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.miss
+}
+
+// Evictions reports entries the in-memory LRU tier dropped to stay within
+// capacity (disk-tier copies survive). A non-zero count on a sweep means
+// the memory tier is undersized for the working set.
+func (c *ResultCache) Evictions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evict
 }
 
 // Get returns the cached Result under key, consulting memory first and then
@@ -269,6 +281,7 @@ func (c *ResultCache) put(key string, res core.Result, persist bool) {
 			old := c.ll.Back()
 			c.ll.Remove(old)
 			delete(c.items, old.Value.(*cacheItem).key)
+			c.evict++
 		}
 	}
 	c.mu.Unlock()

@@ -10,6 +10,7 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"sort"
 	"sync"
@@ -81,6 +82,19 @@ type Options struct {
 	// key cannot represent (live hooks, resumed states) are simulated
 	// unconditionally and never stored.
 	Cache *ResultCache
+	// Progress, when non-nil, receives one JSONL ProgressEvent per
+	// completed job (done/total, cache reuse, prefix resumption, elapsed
+	// wall time) — the live sweep observability `d2dsim -progress` streams
+	// to stderr. Lines are whole-line atomic across the concurrent workers;
+	// the writer itself need not be goroutine-safe. Write errors are
+	// swallowed: progress never fails a sweep.
+	Progress io.Writer
+	// Geometry, when non-nil, is the link-geometry memoization the sweep
+	// shares across its runs instead of the internal per-sweep cache —
+	// callers pass one to read its hit/miss counters afterwards (the
+	// `d2dsim -exp recovery`/`-exp activity` summaries). Same contract as
+	// the internal cache: Configure must be a pure function of its input.
+	Geometry *core.GeometryCache
 }
 
 // DefaultOptions mirrors the paper's sweep: 50 to 1000 devices at the
@@ -150,8 +164,12 @@ func RunSweep(opts Options) ([]Row, error) {
 	// link-geometry pass runs once per distinct (n, seed) instead of once
 	// per run. Safe because Configure is a pure function of its input (see
 	// the Options doc), so PathLoss is uniform per cache key.
-	geom := core.NewGeometryCache()
+	geom := opts.Geometry
+	if geom == nil {
+		geom = core.NewGeometryCache()
+	}
 
+	prog := newProgressReporter(opts.Progress, "sweep", len(jobs), opts.Cache)
 	jobCh := make(chan job)
 	outCh := make(chan outcome, len(jobs))
 	errCh := make(chan error, workers)
@@ -189,6 +207,7 @@ func RunSweep(opts Options) ([]Row, error) {
 							if opts.OnResult != nil {
 								opts.OnResult(j.n, j.proto.Name(), res)
 							}
+							prog.jobDone(j.n, j.proto.Name(), true, false)
 							outCh <- outcome{n: j.n, fst: j.proto.Name() == "FST", res: res}
 							continue
 						}
@@ -206,6 +225,7 @@ func RunSweep(opts Options) ([]Row, error) {
 				if opts.OnResult != nil {
 					opts.OnResult(j.n, j.proto.Name(), res)
 				}
+				prog.jobDone(j.n, j.proto.Name(), false, false)
 				outCh <- outcome{n: j.n, fst: j.proto.Name() == "FST", res: res}
 			}
 		}()

@@ -86,7 +86,14 @@ func RunRecoverySweep(opts Options) ([]RecoveryRow, error) {
 
 	// Reference and faulted run of a job share a deployment; the geometry
 	// memoization builds it once per (n, seed).
-	geom := core.NewGeometryCache()
+	geom := opts.Geometry
+	if geom == nil {
+		geom = core.NewGeometryCache()
+	}
+
+	// One progress line per job (a job = reference run + derived faulted
+	// run), flagging whether the faulted branch reused a prefix checkpoint.
+	prog := newProgressReporter(opts.Progress, "recovery", len(jobs), opts.Cache)
 
 	type recOutcome struct {
 		n         int
@@ -178,6 +185,7 @@ func RunRecoverySweep(opts Options) ([]RecoveryRow, error) {
 					return
 				}
 				out := recOutcome{n: j.n, fst: j.proto.Name() == "FST"}
+				resumed := false
 				if ref.Converged {
 					if plan := recoveryPlan(build(), ref.ConvergenceSlots); plan != nil {
 						cfg := build()
@@ -185,6 +193,7 @@ func RunRecoverySweep(opts Options) ([]RecoveryRow, error) {
 						for i := len(ring) - 1; i >= 0; i-- {
 							if units.Slot(ring[i].Slot) <= ref.ConvergenceSlots {
 								cfg.Resume = ring[i]
+								resumed = true
 								break
 							}
 						}
@@ -200,6 +209,7 @@ func RunRecoverySweep(opts Options) ([]RecoveryRow, error) {
 						}
 					}
 				}
+				prog.jobDone(j.n, j.proto.Name(), false, resumed)
 				outCh <- out
 			}
 		}()

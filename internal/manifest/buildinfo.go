@@ -1,0 +1,44 @@
+package manifest
+
+import (
+	"runtime/debug"
+
+	"repro/internal/telemetry"
+)
+
+// CollectBuildInfo reads the binary's embedded Go build metadata — module
+// version, VCS revision/time/dirty — into the report's provenance block.
+// The type lives in telemetry (the Report owns it; manifest imports core
+// imports telemetry, so defining it here would cycle); the collector lives
+// here because build identity is reproducibility metadata, the package's
+// concern. Deliberately NOT a Manifest field: the manifest's canonical JSON
+// is digested into the run's identity, and identical configs must digest
+// identically across binaries.
+//
+// Binaries built outside a module or VCS checkout (plain `go run` of a
+// file, stripped test binaries) yield partially empty info; callers treat
+// zero fields as unknown.
+func CollectBuildInfo() telemetry.BuildInfo {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return telemetry.BuildInfo{}
+	}
+	info := telemetry.BuildInfo{GoVersion: bi.GoVersion}
+	if bi.Main.Path != "" {
+		info.Module = bi.Main.Path
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			info.Module += "@" + bi.Main.Version
+		}
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.RevisionTime = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+}

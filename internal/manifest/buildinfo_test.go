@@ -1,0 +1,75 @@
+package manifest
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// Test binaries always embed build info, so the collector must at least
+// report the toolchain version and module path.
+func TestCollectBuildInfo(t *testing.T) {
+	bi := CollectBuildInfo()
+	if bi.GoVersion == "" {
+		t.Error("no Go version collected")
+	}
+	if !strings.HasPrefix(bi.GoVersion, "go") {
+		t.Errorf("implausible Go version %q", bi.GoVersion)
+	}
+	if bi.Module == "" {
+		t.Error("no module path collected")
+	}
+	if strings.Contains(bi.Module, "(devel)") {
+		t.Errorf("module %q leaked the (devel) placeholder", bi.Module)
+	}
+}
+
+// Build identity is observability metadata, never run identity: two configs
+// must digest identically whatever binary computed them, so the manifest's
+// canonical JSON must not gain build fields.
+func TestBuildInfoNotInManifestDigest(t *testing.T) {
+	m := Default(50, 1)
+	d1, err := m.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, banned := range []string{"go_version", "revision", "build", "vcs"} {
+		if strings.Contains(string(canon), banned) {
+			t.Errorf("digested manifest JSON contains build field %q", banned)
+		}
+	}
+	d2, err := m.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Error("digest not stable")
+	}
+}
+
+func TestBuildInfoString(t *testing.T) {
+	bi := telemetry.BuildInfo{
+		GoVersion: "go1.24.0",
+		Module:    "repro",
+		Revision:  "0123456789abcdef0123",
+		Dirty:     true,
+	}
+	s := bi.String()
+	for _, want := range []string{"repro", "0123456789ab", "+dirty", "go1.24.0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	if strings.Contains(s, "0123456789abc") {
+		t.Errorf("String() = %q: revision not truncated to 12 chars", s)
+	}
+	if (telemetry.BuildInfo{}).String() == "" {
+		t.Error("zero BuildInfo should still render something")
+	}
+}

@@ -11,8 +11,54 @@ import (
 // ReportSchema versions the machine-readable run report so downstream
 // tooling can reject reports written by an incompatible layout. Schema 2
 // added the fault-layer fields: per-sample alive/repairs counts and the
-// summary's recovery scalars.
-const ReportSchema = 2
+// summary's recovery scalars. Schema 3 added the engine-attribution
+// RunStats section and the Build provenance block.
+const ReportSchema = 3
+
+// BuildInfo identifies the binary that produced a run: module version plus
+// VCS revision/time/dirty from the embedded Go build info. Zero-valued
+// fields are omitted (e.g. a non-VCS build). Defined here rather than in
+// internal/manifest so manifest (which imports core, which imports
+// telemetry) can provide the collector without an import cycle — and kept
+// out of the Manifest struct itself, whose canonical JSON is digested:
+// embedding build info there would give byte-identical configs different
+// identities per binary.
+type BuildInfo struct {
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version,omitempty"`
+	// Module is the main module path@version.
+	Module string `json:"module,omitempty"`
+	// Revision and RevisionTime are the VCS commit stamped at build time.
+	Revision     string `json:"revision,omitempty"`
+	RevisionTime string `json:"revision_time,omitempty"`
+	// Dirty reports uncommitted changes at build time.
+	Dirty bool `json:"dirty,omitempty"`
+}
+
+// String renders the build info as the one-line `d2dsim -version` output.
+func (b BuildInfo) String() string {
+	s := b.Module
+	if s == "" {
+		s = "d2dsim"
+	}
+	if b.Revision != "" {
+		rev := b.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " " + rev
+		if b.Dirty {
+			s += "+dirty"
+		}
+		if b.RevisionTime != "" {
+			s += " (" + b.RevisionTime + ")"
+		}
+	}
+	if b.GoVersion != "" {
+		s += " " + b.GoVersion
+	}
+	return s
+}
 
 // ResultSummary is the flat, JSON-stable view of a run's end-of-run
 // scalars. It mirrors core.Result without importing core (telemetry is a
@@ -82,6 +128,11 @@ type Report struct {
 	DroppedSamples int `json:"dropped_samples"`
 	// Series is the retained probe time series, oldest first.
 	Series []Sample `json:"series"`
+	// RunStats is the engine time-attribution section (present when the
+	// run collected runstats; schema 3).
+	RunStats *RunStatsReport `json:"runstats,omitempty"`
+	// Build identifies the producing binary (schema 3).
+	Build *BuildInfo `json:"build,omitempty"`
 }
 
 // BuildReport assembles a Report from a finished run's telemetry.
