@@ -2,15 +2,16 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-core resume-guard ci bench bench-slot bench-shard bench-shard-record bench-sweep bench-sweep-record bench-link bench-event bench-record bench-compare bench-telemetry bench-faults bench-runstats bench-runstats-record sweep examples fuzz clean
+.PHONY: all build test vet race race-core resume-guard net-guard ci bench bench-slot bench-shard bench-shard-record bench-sweep bench-sweep-record bench-link bench-event bench-record bench-compare bench-telemetry bench-faults bench-runstats bench-runstats-record bench-net bench-net-record sweep examples fuzz clean
 
 all: build vet test
 
 # Mirror of .github/workflows/ci.yml: build, vet, tests, the race
 # detector over the concurrent packages (sweep pool, parallel optimizer,
-# sharded slot engine), then the sharded hot-path, branching-sweep and
-# runstats-overhead regression gates.
-ci: build vet test race-core bench-shard bench-sweep bench-runstats
+# sharded slot engine), then the message-runtime guard and the sharded
+# hot-path, branching-sweep, runstats-overhead and asynchrony-overhead
+# regression gates.
+ci: build vet test race-core net-guard bench-shard bench-sweep bench-runstats bench-net
 
 race-core:
 	$(GO) test -race ./internal/core/... ./internal/firefly/... ./internal/experiments/...
@@ -21,6 +22,14 @@ race-core:
 resume-guard:
 	$(GO) test -race -count 1 -run 'TestResume|TestAutoEngine|TestGoldenCheckpoint' ./internal/core/
 	$(GO) test -count 1 ./internal/snapshot/
+
+# Bounded-asynchrony correctness spine under the race detector: degenerate
+# bit-identity, adversary determinism across engines and worker counts,
+# mid-flight checkpoint resume, watchdog/partition hardening and the n=200
+# acceptance run, plus the transport queue's own suite.
+net-guard:
+	$(GO) test -race -count 1 -run 'TestNet' ./internal/core/
+	$(GO) test -race -count 1 ./internal/asyncnet/
 
 build:
 	$(GO) build ./...
@@ -114,6 +123,29 @@ bench-runstats-record:
 		| $(GO) run ./cmd/benchjson -o BENCH_runstats.json
 	@cat BENCH_runstats.json
 
+# Asynchrony-runtime overhead gate: the no-plan baseline (off) and the
+# degenerate-plan path (degen) re-run at a FIXED iteration count and the
+# degenerate path is gated WITHIN the same record against its baseline
+# partner (benchjson -pair) — a degenerate plan never constructs the
+# transport queue, so the adversary-off hot path must stay within 5% of
+# the seed loop. Only n=5000 is gated (seconds of measured work per
+# side); the active-adversary rows (on) are reported ungated as the
+# price of the actual fault model. The cross-record diff against
+# BENCH_net.json is informational.
+bench-net:
+	$(GO) test -run '^$$' -bench 'BenchmarkStepSlotNet/(off|degen|on)/n=(200|5000)$$' -benchtime 1000x -benchmem ./internal/core/ \
+		| $(GO) run ./cmd/benchjson -o /tmp/bench-net.json
+	$(GO) run ./cmd/benchjson -old BENCH_net.json -new /tmp/bench-net.json
+	$(GO) run ./cmd/benchjson -in /tmp/bench-net.json -pair '/off/=/degen/' \
+		-match 'n=5000$$' -max-pair-regress 5
+
+# Refresh the committed asynchrony-overhead baseline at the gate's fixed
+# iteration count.
+bench-net-record:
+	$(GO) test -run '^$$' -bench 'BenchmarkStepSlotNet/(off|degen|on)/n=(200|5000)$$' -benchtime 1000x -benchmem ./internal/core/ \
+		| $(GO) run ./cmd/benchjson -o BENCH_net.json
+	@cat BENCH_net.json
+
 # Link-geometry cache hot path: slot engine + cached/direct broadcast,
 # persisted as BENCH_slot.json (ns/op, allocs/op) via cmd/benchjson.
 bench-link:
@@ -191,6 +223,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzSummarize -fuzztime=30s ./internal/metrics/
 	$(GO) test -fuzz=FuzzLoadPlan -fuzztime=30s ./internal/faults/
 	$(GO) test -fuzz=FuzzSnapshotDecode -fuzztime=30s ./internal/snapshot/
+	$(GO) test -fuzz=FuzzLoadNetPlan -fuzztime=30s ./internal/asyncnet/
 
 clean:
 	$(GO) clean ./...

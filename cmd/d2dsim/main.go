@@ -15,6 +15,8 @@
 //	d2dsim -exp single -proto ST -n 1000 -cpuprofile cpu.pprof -memprofile mem.pprof
 //	d2dsim -exp single -proto ST -n 200 -report run.json
 //	d2dsim -exp single -proto ST -n 200 -faults plan.json
+//	d2dsim -exp single -proto ST -n 200 -net netplan.json
+//	d2dsim -exp delay -sizes 50,200 -seeds 5
 //	d2dsim -exp single -proto FST -n 200 -engine auto
 //	d2dsim -exp single -proto FST -n 200 -checkpoint-every 500 -checkpoint ck.json
 //	d2dsim -exp single -proto FST -n 200 -resume ck.json
@@ -34,6 +36,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/asyncnet"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/faults"
@@ -47,7 +50,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "fig3", "experiment: table1, fig2, fig3, fig4, ops, recovery, ablation-shadowing, ablation-topology, ablation-drift, ablation-preambles, ablation-search, single")
+		exp         = flag.String("exp", "fig3", "experiment: table1, fig2, fig3, fig4, ops, recovery, delay, ablation-shadowing, ablation-topology, ablation-drift, ablation-preambles, ablation-search, single")
 		sizesStr    = flag.String("sizes", "50,100,200,400,600,800,1000", "comma-separated device counts for sweeps")
 		seeds       = flag.Int("seeds", 5, "repetitions per sweep point")
 		baseSeed    = flag.Int64("seed", 1, "base seed")
@@ -65,7 +68,8 @@ func main() {
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile  = flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 		reportPath  = flag.String("report", "", "write a machine-readable telemetry report (JSON: config digest, result, probe series) of a single/-config run to this file")
-		faultsPath  = flag.String("faults", "", "inject a JSON fault plan (crashes, recoveries, joins, clock jumps, outages, loss) into a single/-config run")
+		faultsPath  = flag.String("faults", "", "inject a JSON fault plan (crashes, recoveries, joins, clock jumps, outages, loss, partitions) into a single/-config run")
+		netPath     = flag.String("net", "", "attach a JSON asynchrony plan (bounded message delay, reordering, duplication, loss) to a single/-config run")
 		telAddr     = flag.String("telemetry-addr", "", "serve live metrics on this address (/metrics Prometheus text, /debug/vars expvar, /debug/pprof/)")
 		prefixSlots = flag.Int64("prefix-slots", -1, "shared checkpoint-prefix reuse cadence for branching sweeps (-exp recovery): the reference run checkpoints in memory every N slots and each derived faulted run resumes from the latest usable checkpoint instead of replaying the shared prefix; -1 auto-selects five firing periods, 0 disables; row results are identical either way")
 		cacheDir    = flag.String("cache-dir", "", "content-addressed result cache directory for sweeps: finished runs are stored under their config digest and identical re-runs are served from the cache instead of re-simulated")
@@ -142,9 +146,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "d2dsim:", err)
 		os.Exit(1)
 	}
+	netPlan, err := loadNet(*netPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "d2dsim:", err)
+		os.Exit(1)
+	}
 
 	if *cfgPath != "" {
-		if err := runFromManifest(*cfgPath, *proto, *slotWorkers, *shards, *engine, *reportPath, plan, vars, ck, *runStats); err != nil {
+		if err := runFromManifest(*cfgPath, *proto, *slotWorkers, *shards, *engine, *reportPath, plan, netPlan, vars, ck, *runStats); err != nil {
 			fmt.Fprintln(os.Stderr, "d2dsim:", err)
 			os.Exit(1)
 		}
@@ -156,7 +165,7 @@ func main() {
 		n: *n, proto: *proto, maxSlots: *maxSlots,
 		workers: *workers, slotWorkers: *slotWorkers, shards: *shards, engine: *engine,
 		prefixSlots: *prefixSlots, cacheDir: *cacheDir,
-		csv: *csv, plot: *plot, report: *reportPath, faults: plan, vars: vars,
+		csv: *csv, plot: *plot, report: *reportPath, faults: plan, net: netPlan, vars: vars,
 		checkpoint: ck, runStats: *runStats, progress: *progress,
 	}
 	if err := run(opts); err != nil {
@@ -191,6 +200,8 @@ type runOpts struct {
 	report string
 	// faults, when non-nil, is the fault plan injected into single runs.
 	faults *faults.Plan
+	// net, when non-nil, is the asynchrony plan attached to single runs.
+	net *asyncnet.Plan
 	// vars, when non-nil, receives live metric updates for -telemetry-addr.
 	vars *telemetry.Vars
 	// checkpoint carries the -checkpoint-every/-checkpoint/-resume flags,
@@ -279,11 +290,36 @@ func loadFaults(path, proto string) (*faults.Plan, error) {
 	return faults.Load(path)
 }
 
+// loadNet reads the -net asynchrony plan, if any. The plan is validated here
+// for early CLI feedback; cfg.Validate re-checks it against the period and
+// the collision model. The BS baseline runs its discovery phase through the
+// same engines, so the adversary applies to it unchanged.
+func loadNet(path string) (*asyncnet.Plan, error) {
+	if path == "" {
+		return nil, nil
+	}
+	return asyncnet.Load(path)
+}
+
+// attachNet wires an asynchrony plan into a run config and applies the
+// hardened-protocol discipline an active adversary requires: a bounded
+// jump budget (JumpsPerCycle >= 1, DESIGN.md §14 — the paper's unlimited
+// budget lets in-flight pulse density compress the effective period out
+// of the convergent regime). A config that already bounds the budget is
+// left alone; without an adversary nothing changes, so plain runs keep
+// the paper's dynamics bit-for-bit.
+func attachNet(cfg *core.Config, plan *asyncnet.Plan) {
+	cfg.Net = plan
+	if plan != nil && !plan.Degenerate() && cfg.JumpsPerCycle < 1 {
+		cfg.JumpsPerCycle = 1
+	}
+}
+
 // runFromManifest executes one protocol run pinned by a JSON manifest.
 // Workers, Shards and Engine are throughput knobs, not model parameters, so
 // they are not part of the manifest; the flags apply on top and cannot
 // change the result.
-func runFromManifest(path, proto string, slotWorkers, shards int, engine string, report string, plan *faults.Plan, vars *telemetry.Vars, ck checkpointOpts, runStats bool) error {
+func runFromManifest(path, proto string, slotWorkers, shards int, engine string, report string, plan *faults.Plan, netPlan *asyncnet.Plan, vars *telemetry.Vars, ck checkpointOpts, runStats bool) error {
 	m, err := manifest.Load(path)
 	if err != nil {
 		return err
@@ -296,6 +332,7 @@ func runFromManifest(path, proto string, slotWorkers, shards int, engine string,
 	cfg.Shards = shards
 	cfg.Engine = engine
 	cfg.Faults = plan
+	attachNet(&cfg, netPlan)
 	var rs *telemetry.RunStats
 	if runStats {
 		rs = telemetry.NewRunStats()
@@ -318,6 +355,7 @@ func runFromManifest(path, proto string, slotWorkers, shards int, engine string,
 	fmt.Printf("energy: %v\n", res.Energy)
 	printSlotRatio(engine, res)
 	printRecovery(plan, res)
+	printNet(netPlan, res)
 	recordSingle(vars, cfg.N, res)
 	printRunStats(rs, vars)
 	if report != "" {
@@ -372,6 +410,9 @@ func attachTelemetry(cfg *core.Config, report string, vars *telemetry.Vars) *tel
 // completion and the traffic are added here.
 func recordSingle(vars *telemetry.Vars, n int, res core.Result) {
 	vars.RecordResult(n, res.Converged, 0, res.TotalSlots, res.Counters.TotalTx())
+	if res.Net != nil {
+		vars.AddNetStats(res.Net.Delayed, res.Net.Duplicated, res.Net.Lost, res.Net.Rejected, res.Net.Peak)
+	}
 }
 
 // writeReport assembles and writes the machine-readable run report: schema,
@@ -436,6 +477,20 @@ func printRecovery(plan *faults.Plan, res core.Result) {
 		res.Repairs, res.Recoveries, res.RecoverySlots)
 }
 
+// printNet reports the message adversary's activity on a run with an
+// asynchrony plan attached (degenerate plans leave Result.Net nil — the
+// runtime was never constructed).
+func printNet(plan *asyncnet.Plan, res core.Result) {
+	if plan == nil {
+		return
+	}
+	fmt.Printf("asynchrony: %s\n", plan)
+	if res.Net != nil {
+		fmt.Printf("net: %d delayed, %d duplicated, %d lost, %d rejected, peak %d in flight\n",
+			res.Net.Delayed, res.Net.Duplicated, res.Net.Lost, res.Net.Rejected, res.Net.Peak)
+	}
+}
+
 // printSlotRatio reports how much of the slot span the event engine actually
 // stepped — the sparsity the speedup comes from.
 func printSlotRatio(engine string, res core.Result) {
@@ -488,6 +543,9 @@ func run(o runOpts) error {
 		if o.vars != nil {
 			onResult = func(n int, _ string, res core.Result) {
 				o.vars.RecordResult(n, res.Converged, res.ActiveSlots, res.TotalSlots, res.Counters.TotalTx())
+				if res.Net != nil {
+					o.vars.AddNetStats(res.Net.Delayed, res.Net.Duplicated, res.Net.Lost, res.Net.Rejected, res.Net.Peak)
+				}
 			}
 		}
 		return experiments.RunSweep(experiments.Options{
@@ -565,6 +623,25 @@ func run(o runOpts) error {
 			return err
 		}
 		if err := emit(experiments.RecoveryTable(rows)); err != nil {
+			return err
+		}
+		printCacheStats(cache, geom, o.vars)
+		return nil
+	case "delay":
+		sizes, err := parseSizes(o.sizes)
+		if err != nil {
+			return err
+		}
+		rows, err := experiments.RunDelaySweep(experiments.Options{
+			Sizes: sizes, Seeds: seeds, BaseSeed: baseSeed,
+			MaxSlots: units.Slot(maxSlots), Workers: o.workers,
+			SlotWorkers: o.slotWorkers, Shards: o.shards, Engine: engine,
+			Cache: cache, Progress: progW, Geometry: geom,
+		})
+		if err != nil {
+			return err
+		}
+		if err := emit(experiments.DelayTable(rows)); err != nil {
 			return err
 		}
 		printCacheStats(cache, geom, o.vars)
@@ -695,6 +772,7 @@ func run(o runOpts) error {
 		cfg.Shards = o.shards
 		cfg.Engine = engine
 		cfg.Faults = o.faults
+		attachNet(&cfg, o.net)
 		if maxSlots > 0 {
 			cfg.MaxSlots = units.Slot(maxSlots)
 		}
@@ -721,6 +799,7 @@ func run(o runOpts) error {
 			100*res.ServiceDiscovery, res.DiscoveredLinks)
 		printSlotRatio(engine, res)
 		printRecovery(o.faults, res)
+		printNet(o.net, res)
 		if res.TreeEdges != nil {
 			fmt.Printf("tree: %d edges over %d phases, weight %.1f\n",
 				len(res.TreeEdges), res.TreePhases, res.TreeWeight)

@@ -1,0 +1,88 @@
+package asyncnet
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/rach"
+	"repro/internal/units"
+	"repro/internal/xrand"
+)
+
+// FuzzLoadNetPlan hammers the asynchrony-plan parser and the queue built
+// from whatever survives validation. Invariants: Read never panics; a
+// validated plan has a finite, non-negative, capped delay bound and rates
+// inside [0,1] (NaN/Inf never leak through); schema skew is rejected; and a
+// queue driven by a validated plan never delivers more than it was fed plus
+// its duplication count, never delivers before the send slot, and drains
+// completely once the delay bound has elapsed.
+func FuzzLoadNetPlan(f *testing.F) {
+	seeds := []string{
+		`{"version":1}`,
+		`{"version":1,"max_delay_slots":25}`,
+		`{"version":1,"max_delay_slots":25,"reorder":true,"dup_rate":0.01}`,
+		`{"version":1,"max_delay_slots":50,"reorder":true,"dup_rate":0.01,"loss_rate":0.02}`,
+		`{"version":1,"max_delay_slots":-1}`,
+		`{"version":1,"max_delay_slots":1048577}`,
+		`{"version":1,"dup_rate":1e308}`,
+		`{"version":1,"loss_rate":-0.5}`,
+		`{"version":2,"max_delay_slots":5}`,
+		`{"version":1,"max_delay":5}`,
+		`{"version":1} trailing`,
+		`not json`,
+		`{}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // malformed input is allowed to fail, not to panic
+		}
+		if err := p.Validate(); err != nil {
+			return
+		}
+		if p.Version != PlanSchema {
+			t.Fatalf("schema skew %d survived validation", p.Version)
+		}
+		if p.MaxDelaySlots < 0 || p.MaxDelaySlots > MaxDelayCap {
+			t.Fatalf("unbounded delay %d survived validation", p.MaxDelaySlots)
+		}
+		for _, r := range []float64{p.DupRate, p.LossRate} {
+			if math.IsNaN(r) || math.IsInf(r, 0) || r < 0 || r > 1 {
+				t.Fatalf("rate %v survived validation", r)
+			}
+		}
+
+		q := NewQueue(p, xrand.NewStream(1))
+		const slots = 8
+		var in, out uint64
+		for slot := units.Slot(1); slot <= slots; slot++ {
+			dels := []rach.Delivery{
+				{To: 1, Msg: rach.Message{From: 0, Slot: slot}},
+				{To: 0, Msg: rach.Message{From: 1, Slot: slot}},
+			}
+			in += uint64(len(dels))
+			for _, d := range q.Cycle(dels, slot) {
+				if d.Msg.Slot > slot {
+					t.Fatalf("delivery from the future: sent %d, drained at %d", d.Msg.Slot, slot)
+				}
+				out++
+			}
+		}
+		// Cap the drain horizon: MaxDelayCap-sized bounds are valid but not
+		// steppable slot by slot; one drain past the bound must flush.
+		flush := units.Slot(slots + p.MaxDelaySlots + 1)
+		out += uint64(len(q.Cycle(nil, flush)))
+		if q.InFlight() != 0 {
+			t.Fatalf("%d messages in flight past the delay bound", q.InFlight())
+		}
+		c := q.Counters()
+		if out+c.Lost+c.Rejected != in+c.Duplicated {
+			t.Fatalf("conservation: out=%d lost=%d rejected=%d != in=%d dup=%d",
+				out, c.Lost, c.Rejected, in, c.Duplicated)
+		}
+	})
+}

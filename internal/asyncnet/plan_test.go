@@ -1,0 +1,105 @@
+package asyncnet
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestValidateTable(t *testing.T) {
+	cases := []struct {
+		name string
+		plan *Plan
+		ok   bool
+	}{
+		{"nil", nil, true},
+		{"degenerate", &Plan{Version: PlanSchema}, true},
+		{"full", &Plan{Version: PlanSchema, MaxDelaySlots: 25, Reorder: true, DupRate: 0.01, LossRate: 0.02}, true},
+		{"wrong schema", &Plan{Version: PlanSchema + 1}, false},
+		{"zero schema", &Plan{}, false},
+		{"negative delay", &Plan{Version: PlanSchema, MaxDelaySlots: -1}, false},
+		{"unbounded delay", &Plan{Version: PlanSchema, MaxDelaySlots: MaxDelayCap + 1}, false},
+		{"cap delay", &Plan{Version: PlanSchema, MaxDelaySlots: MaxDelayCap}, true},
+		{"dup nan", &Plan{Version: PlanSchema, DupRate: math.NaN()}, false},
+		{"dup inf", &Plan{Version: PlanSchema, DupRate: math.Inf(1)}, false},
+		{"dup negative", &Plan{Version: PlanSchema, DupRate: -0.1}, false},
+		{"dup above one", &Plan{Version: PlanSchema, DupRate: 1.1}, false},
+		{"loss nan", &Plan{Version: PlanSchema, LossRate: math.NaN()}, false},
+		{"loss above one", &Plan{Version: PlanSchema, LossRate: 2}, false},
+		{"rates at one", &Plan{Version: PlanSchema, DupRate: 1, LossRate: 1}, true},
+	}
+	for _, c := range cases {
+		err := c.plan.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error: %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: validation passed, want error", c.name)
+		}
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"unknown field", `{"version":1,"max_delay":5}`},
+		{"trailing garbage", `{"version":1} {"version":1}`},
+		{"not json", `max_delay_slots: 5`},
+		{"nan literal", `{"version":1,"dup_rate":NaN}`},
+		{"array", `[1,2,3]`},
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: Read accepted %q", c.name, c.in)
+		}
+	}
+}
+
+func TestReadRoundTrip(t *testing.T) {
+	p, err := Read(strings.NewReader(`{"version":1,"max_delay_slots":25,"reorder":true,"dup_rate":0.01}`))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if p.MaxDelaySlots != 25 || !p.Reorder || p.DupRate != 0.01 || p.LossRate != 0 {
+		t.Fatalf("decoded plan %+v", p)
+	}
+	if p.Degenerate() {
+		t.Fatal("adversarial plan reported degenerate")
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	if !(*Plan)(nil).Degenerate() {
+		t.Error("nil plan must be degenerate")
+	}
+	// Reorder alone perturbs nothing when the delay bound is zero.
+	if !(&Plan{Version: PlanSchema, Reorder: true}).Degenerate() {
+		t.Error("zero-delay reorder-only plan must be degenerate")
+	}
+	for _, p := range []*Plan{
+		{Version: PlanSchema, MaxDelaySlots: 1},
+		{Version: PlanSchema, DupRate: 0.5},
+		{Version: PlanSchema, LossRate: 0.5},
+	} {
+		if p.Degenerate() {
+			t.Errorf("plan %+v reported degenerate", p)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := (*Plan)(nil).String(); !strings.Contains(s, "degenerate") {
+		t.Errorf("nil plan String = %q", s)
+	}
+	p := &Plan{Version: PlanSchema, MaxDelaySlots: 25, Reorder: true, DupRate: 0.01}
+	s := p.String()
+	for _, want := range []string{"25", "reorder", "dup"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+}

@@ -228,6 +228,10 @@ func (Centralized) Run(env *Env) Result {
 	res.Energy = energy.LTEDefaults().Charge(res.Counters, cfg.N, res.ConvergenceSlots)
 	res.DiscoveredLinks = countDiscoveredLinks(env)
 	res.ServiceDiscovery = env.ServiceDiscoveryRatio()
+	if env.Net != nil {
+		c := env.Net.Counters()
+		res.Net = &c
+	}
 	return res
 }
 

@@ -21,6 +21,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/asyncnet"
 	"repro/internal/faults"
 	"repro/internal/geo"
 	"repro/internal/oscillator"
@@ -301,8 +302,31 @@ type Config struct {
 	// child presumes its parent dead after the parent has not fired for
 	// this many consecutive periods (0 = the default of 3). Live
 	// oscillators fire at least once per two periods, so any value >= 3
-	// cannot false-positive on a fault-free run.
+	// cannot false-positive on a fault-free run. When a message adversary
+	// is configured (Net) the patience additionally widens by the
+	// adversary's maximum delay, so a pulse held to its delivery bound
+	// still cannot trip the watchdog.
 	WatchdogPeriods int
+
+	// Net, when non-nil, attaches the bounded-asynchrony message runtime
+	// (internal/asyncnet): every resolved pulse delivery is enqueued with
+	// a seeded bounded delay and optionally reordered, duplicated or
+	// dropped before the protocols see it, and merge-handshake
+	// transmissions pay the same per-message transport loss. All draws
+	// come from the dedicated "asyncnet" stream in delivery-list order, so
+	// adversarial runs stay bit-identical across engines, shard layouts
+	// and worker counts — and a degenerate plan (zero delay, no
+	// duplication, no loss) is bit-identical to no Net at all (the
+	// transport layer is not even constructed). A non-degenerate plan
+	// requires the capture collision model (CaptureMarginDB >= 0, the
+	// paper's default), whose receiver-ascending delivery order the
+	// transport's drain order extends, a maximum delay below one firing
+	// period (bounded asynchrony: a pulse arrives before its sender's
+	// next fire), and a bounded jump budget (JumpsPerCycle >= 1, the
+	// MEMFIS discipline): with an unlimited budget the extra pulses an
+	// adversary keeps in flight compress every oscillator's effective
+	// period until the delay/period ratio leaves the convergent regime.
+	Net *asyncnet.Plan
 
 	// directGeometry (tests only) disables the transport's link-geometry
 	// cache so the run exercises the direct per-call path — the reference
@@ -398,6 +422,21 @@ func (c Config) Validate() error {
 	if err := c.Faults.Validate(c.N, int64(c.MaxSlots)); err != nil {
 		return err
 	}
+	if err := c.Net.Validate(); err != nil {
+		return err
+	}
+	if c.Net != nil && !c.Net.Degenerate() {
+		if c.CaptureMarginDB < 0 {
+			return fmt.Errorf("core: Net adversary requires the capture collision model (CaptureMarginDB >= 0)")
+		}
+		if c.Net.MaxDelaySlots >= c.PeriodSlots {
+			return fmt.Errorf("core: Net max delay %d slots not below the period %d (bounded asynchrony requires delay < T)",
+				c.Net.MaxDelaySlots, c.PeriodSlots)
+		}
+		if c.JumpsPerCycle < 1 {
+			return fmt.Errorf("core: Net adversary requires a bounded jump budget (JumpsPerCycle >= 1): an unlimited budget lets in-flight pulse density compress the effective period until the delay/period ratio leaves the convergent regime")
+		}
+	}
 	if r := c.Resume; r != nil {
 		if r.N != c.N {
 			return fmt.Errorf("core: resume snapshot is for N=%d, config has N=%d", r.N, c.N)
@@ -418,4 +457,17 @@ func (c Config) watchdogPeriods() int {
 		return c.WatchdogPeriods
 	}
 	return 3
+}
+
+// netMaxDelay returns the message adversary's delay bound in slots — 0 when
+// no adversary is active. The liveness watchdogs widen their patience by
+// exactly this much: a pulse sent at slot s arrives by s+netMaxDelay, so a
+// device silent for watchSlots+netMaxDelay has provably not transmitted
+// within watchSlots, and the no-false-positive argument for the undelayed
+// watchdog carries over unchanged.
+func (c Config) netMaxDelay() units.Slot {
+	if c.Net == nil || c.Net.Degenerate() {
+		return 0
+	}
+	return units.Slot(c.Net.MaxDelaySlots)
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/asyncnet"
 	"repro/internal/faults"
 	"repro/internal/oscillator"
 	"repro/internal/snapshot"
@@ -94,9 +95,18 @@ type engine struct {
 
 	// flt is the compiled fault schedule (nil disables the layer); the
 	// cached fltFilters flag keeps the per-delivery drop check off the hot
-	// path for plans with neither outages nor loss.
+	// path for plans with neither outages, partitions nor loss.
 	flt        *faults.Injector
 	fltFilters bool
+
+	// net is the bounded-asynchrony message queue (nil without an active
+	// adversary): every wave's resolved deliveries cycle through it, and
+	// slots with a delayed delivery due run a wave even with no local
+	// fire. nil costs one pointer check per wave. echo carries absorption
+	// echoes between waves; it is allocated on first use and stays nil —
+	// like every other adversary cost — on the degenerate path.
+	net  *asyncnet.Queue
+	echo *echoState
 
 	// rs caches Config.RunStats (nil = disabled): the engines' timing
 	// probes cost one nil check each when off, and only monotonic-clock
@@ -195,7 +205,7 @@ func engineWorkers(cfg Config) int {
 // shared-stream transports run the sharded loops inline, which preserves
 // draw order.
 func newEngine(env *Env) *engine {
-	e := &engine{env: env, flt: env.Faults, rs: env.Cfg.RunStats}
+	e := &engine{env: env, flt: env.Faults, rs: env.Cfg.RunStats, net: env.Net}
 	e.fltFilters = e.flt != nil && e.flt.Filters()
 	e.service = func(sender int) int { return int(env.Devices[sender].Service) }
 	if env.Cfg.Engine == EngineEvent {
@@ -341,6 +351,14 @@ func (e *engine) nextStep(after units.Slot) units.Slot {
 	// crash/recover/join/jump is scheduled at even if no fire lands there.
 	if e.flt != nil {
 		if at, ok := e.flt.NextBoundary(after); ok && at < next {
+			next = at
+		}
+	}
+	// In-flight adversary deliveries fold like fault boundaries: the
+	// event engine must step the slot a delayed pulse lands in even when
+	// no oscillator fires there.
+	if e.net != nil {
+		if at, ok := e.net.NextDue(after); ok && at < next {
 			next = at
 		}
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/asyncnet"
 	"repro/internal/device"
 	"repro/internal/faults"
 	"repro/internal/geo"
@@ -29,6 +30,14 @@ type Env struct {
 	// The engines consult it for delivery filtering and the protocols pop
 	// its membership/clock actions at their scheduled slots.
 	Faults *faults.Injector
+	// Net is the bounded-asynchrony message queue the engines drain
+	// pulses through — non-nil only for a non-degenerate Cfg.Net plan, so
+	// the lockstep path never pays for (or draws from) the layer.
+	Net *asyncnet.Queue
+	// netLossSrc drives the merge-handshake transport-loss draws when the
+	// adversary has a loss rate (nil otherwise); consumed only on the
+	// sequential protocol path, in handshake order.
+	netLossSrc *xrand.Stream
 }
 
 // AliveCount returns the number of powered-on devices.
@@ -171,7 +180,19 @@ func newEnv(cfg Config, positions []geo.Point) (*Env, error) {
 			alive[id] = false
 		}
 	}
-	return &Env{Cfg: cfg, Streams: streams, Channel: ch, Transport: tr, Devices: devs, Alive: alive, Faults: inj}, nil
+	// The message adversary compiles only for a non-degenerate plan; its
+	// streams are name-hashed like every other, so fetching them perturbs
+	// no existing draw sequence and a degenerate run is bit-identical to
+	// one with no Net at all.
+	var netq *asyncnet.Queue
+	var netLossSrc *xrand.Stream
+	if cfg.Net != nil && !cfg.Net.Degenerate() {
+		netq = asyncnet.NewQueue(cfg.Net, streams.Get("asyncnet"))
+		if cfg.Net.LossRate > 0 {
+			netLossSrc = streams.Get("netlink")
+		}
+	}
+	return &Env{Cfg: cfg, Streams: streams, Channel: ch, Transport: tr, Devices: devs, Alive: alive, Faults: inj, Net: netq, netLossSrc: netLossSrc}, nil
 }
 
 // ReferenceGraph builds the deterministic (zero-fading) proximity graph
@@ -227,7 +248,11 @@ func (e *Env) ServiceDiscoveryRatio() float64 {
 
 // linkTrials samples the channel between two devices until a transmission
 // lands or the retry limit is hit, returning the number of transmissions
-// spent. It models the H_Connect retransmission loop of Algorithm 2.
+// spent. It models the H_Connect retransmission loop of Algorithm 2: the
+// retry limit is the bounded-backoff budget, and when a message adversary
+// with transport loss is active a channel-clean transmission can still be
+// eaten by the network — the loop simply retransmits, staying inside the
+// same bound.
 func (e *Env) linkTrials(from, to int) int {
 	// The transport's link cache already holds this pair's mean received
 	// power (the merge handshake only probes discovered — in-range — peers);
@@ -242,9 +267,20 @@ func (e *Env) linkTrials(from, to int) int {
 		limit = 1
 	}
 	for trial := 1; trial <= limit; trial++ {
-		if e.Channel.SampleMean(mean).AtLeast(e.Cfg.Threshold) {
-			return trial
+		if !e.Channel.SampleMean(mean).AtLeast(e.Cfg.Threshold) {
+			continue
 		}
+		if e.netLossSrc != nil && e.netLossSrc.Float64() < e.Cfg.Net.LossRate {
+			continue // transport ate a clean handshake: retransmit
+		}
+		return trial
 	}
 	return limit
+}
+
+// linkBlocked reports whether an active fault-plan partition separates the
+// two devices at slot: merge handshakes cannot cross it, so fragment merges
+// over such edges defer until the partition lifts.
+func (e *Env) linkBlocked(from, to int, slot units.Slot) bool {
+	return e.Faults != nil && e.Faults.PartitionBlocked(from, to, int64(slot))
 }

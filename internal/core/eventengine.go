@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"repro/internal/asyncnet"
 	"repro/internal/device"
 	"repro/internal/eventsim"
 	"repro/internal/faults"
@@ -49,6 +50,11 @@ type eventEngine struct {
 	flt        *faults.Injector
 	fltFilters bool
 
+	// net mirrors engine.net (nil without an active message adversary);
+	// ec carries absorption echoes between waves (nil alongside net).
+	net *asyncnet.Queue
+	ec  *echoState
+
 	// rs mirrors engine.rs (nil = runstats disabled).
 	rs *telemetry.RunStats
 
@@ -74,7 +80,11 @@ func newEventEngine(e *engine) *eventEngine {
 		dirtySlot:  make([]units.Slot, len(env.Devices)),
 		flt:        env.Faults,
 		fltFilters: env.Faults != nil && env.Faults.Filters(),
+		net:        env.Net,
 		rs:         e.rs,
+	}
+	if ev.net != nil {
+		ev.ec = newEchoState(len(env.Devices))
 	}
 	ids := make([]int, 0, len(env.Devices))
 	ats := make([]units.Slot, 0, len(env.Devices))
@@ -151,15 +161,35 @@ func (ev *eventEngine) step(slot units.Slot, couples couplingRule, opsPerPulse u
 		rs.AddPhase(telemetry.PhaseAdvance, t1.Sub(t0))
 		t0 = t1
 	}
+	// Delayed in-flight deliveries run a wave even on slots with no fire;
+	// nextStep folds the queue's horizon so such slots are always stepped.
+	// Absorption echoes collected from one wave transmit with the next.
 	wave := fired
 	waveBuf := 0
-	for len(wave) > 0 {
+	net := ev.net
+	ec := ev.ec
+	echoCur := 0
+	for len(wave) > 0 || (net != nil && (ec.pending(echoCur) || net.HasDue(slot))) {
 		buf := waveBuf
 		waveBuf ^= 1
 		next := ev.waves[buf][:0]
-		dels := env.Transport.BroadcastAll(wave, rach.RACH1, rach.KindPulse, ev.service, slot)
-		if ev.fltFilters {
-			dels = filterFaultDeliveries(ev.flt, dels, slot)
+		senders := wave
+		if net != nil {
+			senders = ec.senders(wave, echoCur)
+		}
+		var dels []rach.Delivery
+		if len(senders) > 0 {
+			dels = env.Transport.BroadcastAll(senders, rach.RACH1, rach.KindPulse, ev.service, slot)
+			if net != nil {
+				ec.stamp(dels, echoCur)
+			}
+			if ev.fltFilters {
+				dels = filterFaultDeliveries(ev.flt, dels, slot)
+			}
+		}
+		if net != nil {
+			dels = net.Cycle(dels, slot)
+			ec.reset(1 - echoCur)
 		}
 		if rs != nil {
 			t1 := time.Now()
@@ -178,8 +208,12 @@ func (ev *eventEngine) step(slot units.Slot, couples couplingRule, opsPerPulse u
 			}
 			recv.Osc.AdvanceTo(int64(slot))
 			ev.markDirty(del.To, slot)
-			if recv.Osc.OnPulse(int64(slot)) {
+			if recv.Osc.OnPulseSent(int64(del.Msg.Slot), int64(slot)) {
 				next = append(next, del.To)
+			} else if net != nil {
+				if ep, ok := recv.Osc.TakeEcho(); ok {
+					ec.collect(1-echoCur, del.To, units.Slot(ep))
+				}
 			}
 		}
 		if rs != nil {
@@ -190,6 +224,7 @@ func (ev *eventEngine) step(slot units.Slot, couples couplingRule, opsPerPulse u
 		ev.waves[buf] = next
 		fired = append(fired, next...)
 		wave = next
+		echoCur = 1 - echoCur
 	}
 	ev.fired = fired
 	for _, id := range ev.dirty {

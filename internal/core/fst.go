@@ -104,7 +104,11 @@ func (FST) Run(env *Env) Result {
 		}
 		lastFired = make([]units.Slot, cfg.N)
 		presumedDead = make([]bool, cfg.N)
-		watchSlots = units.Slot(cfg.watchdogPeriods() * cfg.PeriodSlots)
+		// Patience widens by the message adversary's delay bound: a pulse
+		// sent at slot s arrives by s+netMaxDelay, so only silence beyond
+		// watchdogPeriods*T + maxDelay proves the sender stopped
+		// transmitting (no-false-positive under bounded asynchrony).
+		watchSlots = units.Slot(cfg.watchdogPeriods()*cfg.PeriodSlots) + cfg.netMaxDelay()
 		// nextWatch stays unarmed until the first fault action applies: the
 		// watchdog only presumes devices that fired at least once and then
 		// fell silent past watchSlots (> one firing interval), so every
@@ -196,11 +200,52 @@ func (FST) Run(env *Env) Result {
 
 	finalSlot := cfg.MaxSlots
 	var slot units.Slot
+
+	// Partition awareness: a join handshake cannot cross an active split,
+	// and a powered-on device an active split separates from the tree side
+	// is unhearable there despite the global fired oracle — the watchdog
+	// presumes it by reachability and the prune evicts it, so each side
+	// degrades to its own fragment instead of wedging; the re-join loop
+	// heals once the split lifts. Both closures read the loop's slot
+	// variable; they stay nil (or trivially false) without partitions so
+	// existing fault plans keep their exact trajectories.
+	var linkBlocked func(from, to int) bool
+	if flt != nil {
+		linkBlocked = func(from, to int) bool {
+			return flt.PartitionBlocked(from, to, int64(slot))
+		}
+	}
+	presumedAlive := func() bool {
+		for d, pd := range presumedDead {
+			if pd && env.Alive[d] {
+				return true
+			}
+		}
+		return false
+	}
+
 	for slot = startSlot; slot <= cfg.MaxSlots; {
 		fired := eng.stepSlot(slot, couples, opsPerPulse, &res.Ops)
 		if flt != nil {
 			for _, f := range fired {
 				lastFired[f] = slot
+				// A presumed device heard firing after the splits lifted
+				// was a partition casualty, not a corpse: lift the verdict
+				// so the join loop re-attaches it. Inert for pure
+				// crash/recover plans (a corpse never fires; a recovery
+				// clears its presumption before its first fire).
+				if presumedDead[f] && !flt.PartitionActive(slot) {
+					presumedDead[f] = false
+					if joinedLive < aliveCnt && nextRound <= slot {
+						nextRound = slot + roundSlots
+					}
+				}
+			}
+			// A partition starting is fault activity even though no
+			// membership action applies: arm the watchdog so the split is
+			// observed on the usual kT chain.
+			if nextWatch == slotHorizonNone && flt.PartitionActive(slot) {
+				nextWatch = (slot/units.Slot(cfg.PeriodSlots) + 1) * units.Slot(cfg.PeriodSlots)
 			}
 			if ap := eng.applyFaults(slot); ap.any() {
 				// First applied action arms the watchdog on the same
@@ -264,7 +309,7 @@ func (FST) Run(env *Env) Result {
 				joined = 1
 				joinedLive = 1
 			}
-			u, v, ok := fstBestOutgoing(env, inTree, flt != nil, &res.Ops)
+			u, v, ok := fstBestOutgoing(env, inTree, flt != nil, presumedDead, linkBlocked, &res.Ops)
 			if ok {
 				// Join handshake on the single codec: probe and
 				// accept, with channel retries.
@@ -292,9 +337,25 @@ func (FST) Run(env *Env) Result {
 		// boundaries and prune the tree around them.
 		if flt != nil && slot >= nextWatch {
 			nextWatch = slot + units.Slot(cfg.PeriodSlots)
+			// Reachability reference for split-presume: the lowest-id live
+			// unpresumed device, the side the prune keeps (fstRestructure
+			// roots there by the same convention).
+			ref := -1
+			if flt.PartitionActive(slot) {
+				for d := range lastFired {
+					if env.Alive[d] && !presumedDead[d] {
+						ref = d
+						break
+					}
+				}
+			}
 			restructure := false
 			for d, lf := range lastFired {
-				if lf > 0 && !presumedDead[d] && slot-lf > watchSlots {
+				if lf == 0 || presumedDead[d] {
+					continue
+				}
+				split := ref >= 0 && d != ref && flt.PartitionBlocked(ref, d, int64(slot))
+				if slot-lf > watchSlots || split {
 					presumedDead[d] = true
 					if inTree[d] {
 						restructure = true
@@ -357,7 +418,11 @@ func (FST) Run(env *Env) Result {
 				}
 			}
 		}
-		if synced && (flt == nil || (!healing && !flt.Pending())) {
+		// A run never exits before every scheduled partition has lifted
+		// and its casualties have been heard again: a split must be
+		// observed healing, not raced past.
+		if synced && (flt == nil || (!healing && !flt.Pending() &&
+			slot >= flt.PartitionEnd() && !presumedAlive())) {
 			finalSlot = slot
 			break
 		}
@@ -433,6 +498,10 @@ func (FST) Run(env *Env) Result {
 	res.Energy = energy.LTEDefaults().Charge(res.Counters, cfg.N, res.ConvergenceSlots)
 	res.DiscoveredLinks = countDiscoveredLinks(env)
 	res.ServiceDiscovery = env.ServiceDiscoveryRatio()
+	if env.Net != nil {
+		c := env.Net.Counters()
+		res.Net = &c
+	}
 	return res
 }
 
@@ -453,16 +522,29 @@ func fstLinkWeight(env *Env, u, v int) float64 {
 // tree, ranked by the *latest* RSSI sample. The scan work is charged to the
 // ops counter — this is the baseline's O(n²)-flavoured per-round cost.
 // With liveOnly set (a fault plan is active) powered-off devices neither
-// scan nor qualify as endpoints.
-func fstBestOutgoing(env *Env, inTree []bool, liveOnly bool, ops *uint64) (u, v int, ok bool) {
+// scan nor qualify as endpoints; the same goes for presumed-dead devices
+// (nil presumed disables the check), and edges the blocked predicate vetoes
+// (an active network split) cannot carry the join handshake. Both extra
+// filters are no-ops for fault plans without partitions: a presumed device
+// there is really dead, and nothing is ever blocked.
+func fstBestOutgoing(env *Env, inTree []bool, liveOnly bool, presumed []bool, blocked func(int, int) bool, ops *uint64) (u, v int, ok bool) {
 	best := -1e18
 	for i, d := range env.Devices {
 		if liveOnly && !env.Alive[i] {
 			continue
 		}
+		if presumed != nil && presumed[i] {
+			continue
+		}
 		*ops += uint64(len(d.DiscoveredPeers))
 		for peer, stat := range d.DiscoveredPeers {
 			if liveOnly && !env.Alive[peer] {
+				continue
+			}
+			if presumed != nil && presumed[peer] {
+				continue
+			}
+			if blocked != nil && blocked(i, peer) {
 				continue
 			}
 			var tu, tv int

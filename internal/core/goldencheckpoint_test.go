@@ -12,13 +12,13 @@ import (
 
 var updateGolden = flag.Bool("update", false, "rewrite the committed golden checkpoint fixture")
 
-// The committed fixture is a schema-v1 FST checkpoint at slot 450 of the
+// The committed fixture is a schema-v2 FST checkpoint at slot 450 of the
 // golden run (n=40, seed 12345). It pins the on-disk form: any change to the
 // snapshot layout or encoding breaks TestGoldenCheckpointBytes until the
 // schema version is bumped deliberately and the fixture regenerated with
 //
 //	go test ./internal/core/ -run TestGoldenCheckpoint -update
-const goldenCheckpointPath = "testdata/checkpoint_v1.json"
+const goldenCheckpointPath = "testdata/checkpoint_v2.json"
 
 func goldenCheckpoint(t *testing.T) []byte {
 	t.Helper()

@@ -62,15 +62,40 @@ func (e *engine) stepSequential(slot units.Slot, couples couplingRule, opsPerPul
 		rs.AddPhase(telemetry.PhaseAdvance, t1.Sub(t0))
 		t0 = t1
 	}
+	// With a message adversary, a slot with no local fire still runs a
+	// delivery wave when an in-flight pulse lands here, and absorption
+	// echoes collected from one wave transmit with the next; without one
+	// the loop shape (and the nil-queue pass-through) is the reference's.
 	wave := fired
 	waveBuf := 0
-	for len(wave) > 0 {
+	net := e.net
+	ec := e.echo
+	if net != nil && ec == nil {
+		ec = newEchoState(len(env.Devices))
+		e.echo = ec
+	}
+	echoCur := 0
+	for len(wave) > 0 || (net != nil && (ec.pending(echoCur) || net.HasDue(slot))) {
 		buf := waveBuf
 		waveBuf ^= 1
 		next := e.waves[buf][:0]
-		dels := env.Transport.BroadcastAll(wave, rach.RACH1, rach.KindPulse, e.service, slot)
-		if e.fltFilters {
-			dels = filterFaultDeliveries(e.flt, dels, slot)
+		senders := wave
+		if net != nil {
+			senders = ec.senders(wave, echoCur)
+		}
+		var dels []rach.Delivery
+		if len(senders) > 0 {
+			dels = env.Transport.BroadcastAll(senders, rach.RACH1, rach.KindPulse, e.service, slot)
+			if net != nil {
+				ec.stamp(dels, echoCur)
+			}
+			if e.fltFilters {
+				dels = filterFaultDeliveries(e.flt, dels, slot)
+			}
+		}
+		if net != nil {
+			dels = net.Cycle(dels, slot)
+			ec.reset(1 - echoCur)
 		}
 		if rs != nil {
 			t1 := time.Now()
@@ -87,8 +112,12 @@ func (e *engine) stepSequential(slot units.Slot, couples couplingRule, opsPerPul
 			if !couples(del.Msg.From, del.To) {
 				continue
 			}
-			if recv.Osc.OnPulse(int64(slot)) {
+			if recv.Osc.OnPulseSent(int64(del.Msg.Slot), int64(slot)) {
 				next = append(next, del.To)
+			} else if net != nil {
+				if ep, ok := recv.Osc.TakeEcho(); ok {
+					ec.collect(1-echoCur, del.To, units.Slot(ep))
+				}
 			}
 		}
 		if rs != nil {
@@ -99,6 +128,7 @@ func (e *engine) stepSequential(slot units.Slot, couples couplingRule, opsPerPul
 		e.waves[buf] = next
 		fired = append(fired, next...)
 		wave = next
+		echoCur = 1 - echoCur
 	}
 	e.firedAll = fired
 	if env.Cfg.FireTrace != nil {

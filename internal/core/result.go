@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/asyncnet"
 	"repro/internal/energy"
 	"repro/internal/graph"
 	"repro/internal/rach"
@@ -68,6 +69,11 @@ type Result struct {
 	// disturbance (the episode's first fault event) to the re-convergence
 	// closing it, summed over Recoveries episodes.
 	RecoverySlots units.Slot
+
+	// Net carries the message runtime's adversary counters (delayed,
+	// duplicated, lost, rejected, peak in-flight). Nil without an active
+	// asynchrony plan.
+	Net *asyncnet.Counters
 }
 
 // String implements fmt.Stringer with the headline numbers.

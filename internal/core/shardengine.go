@@ -63,10 +63,15 @@ type shardEngine struct {
 	min  []int64 // per-shard earliest cached next-fire (conservative: never above truth)
 
 	// Per-shard accumulators, touched only by the worker owning the shard.
-	firedMem [][]int   // phase A: fired member indices
-	firedSh  [][]int   // phase A: fired device ids (ascending within shard)
-	nextSh   [][]int   // phase C: pulse-triggered fires (ascending within shard)
-	opsSh    []uint64  // phase C: delivered-pulse counts
+	firedMem [][]int  // phase A: fired member indices
+	firedSh  [][]int  // phase A: fired device ids (ascending within shard)
+	nextSh   [][]int  // phase C: pulse-triggered fires (ascending within shard)
+	opsSh    []uint64 // phase C: delivered-pulse counts
+	// Per-shard absorption echoes (adversary runs only): transmitter ids
+	// and their adopted epochs, collected in phase C and merged into the
+	// engine's echoState for the next wave.
+	echoSh   [][]int
+	echoEpSh [][]units.Slot
 	dirtySh  [][]int32 // members whose trajectory changed this slot
 	shRuns   [][]int32 // phase C: delivery-run indices per shard
 
@@ -96,6 +101,8 @@ func newShardEngine(e *engine, shards int) *shardEngine {
 		firedSh:   make([][]int, sm.count),
 		nextSh:    make([][]int, sm.count),
 		opsSh:     make([]uint64, sm.count),
+		echoSh:    make([][]int, sm.count),
+		echoEpSh:  make([][]units.Slot, sm.count),
 		dirtySh:   make([][]int32, sm.count),
 		shRuns:    make([][]int32, sm.count),
 		dirtySlot: make([]units.Slot, len(sm.order)),
@@ -264,7 +271,10 @@ func (sh *shardEngine) deliverShard(s int, dels []rach.Delivery, couples couplin
 		t0 = time.Now()
 	}
 	env := sh.env
+	withNet := sh.eng.net != nil
 	nx := sh.nextSh[s][:0]
+	exIds := sh.echoSh[s][:0]
+	exEps := sh.echoEpSh[s][:0]
 	var delivered uint64
 	for _, ri := range sh.shRuns[s] {
 		r := sh.runs[ri]
@@ -282,15 +292,31 @@ func (sh *shardEngine) deliverShard(s int, dels []rach.Delivery, couples couplin
 			recv.Osc.AdvanceTo(int64(slot))
 			prePhase := recv.Osc.Phase
 			preQueued := recv.Osc.QueuedJumps()
-			if recv.Osc.OnPulse(int64(slot)) {
+			if recv.Osc.OnPulseSent(int64(del.Msg.Slot), int64(slot)) {
 				nx = append(nx, del.To)
 				sh.markDirty(del.To, slot)
-			} else if recv.Osc.Phase != prePhase || recv.Osc.QueuedJumps() != preQueued {
-				sh.markDirty(del.To, slot)
+			} else {
+				if recv.Osc.Phase != prePhase || recv.Osc.QueuedJumps() != preQueued {
+					sh.markDirty(del.To, slot)
+				}
+				if withNet {
+					if ep, ok := recv.Osc.TakeEcho(); ok {
+						// Re-absorption within one wave arrives as a
+						// consecutive duplicate; keep the latest epoch.
+						if k := len(exIds); k > 0 && exIds[k-1] == del.To {
+							exEps[k-1] = units.Slot(ep)
+						} else {
+							exIds = append(exIds, del.To)
+							exEps = append(exEps, units.Slot(ep))
+						}
+					}
+				}
 			}
 		}
 	}
 	sh.nextSh[s] = nx
+	sh.echoSh[s] = exIds
+	sh.echoEpSh[s] = exEps
 	sh.opsSh[s] = delivered
 	if rs != nil {
 		rs.ShardWorked(s, time.Since(t0))
@@ -346,31 +372,59 @@ func (sh *shardEngine) step(slot units.Slot, couples couplingRule, opsPerPulse u
 		t0 = t1
 	}
 
+	// With a message adversary, slots holding a due in-flight delivery run
+	// a wave even with no local fire (the queue's drain order is receiver-
+	// contiguous by construction, so phase C's run grouping applies), and
+	// absorption echoes collected from one wave transmit with the next.
 	wave := fired
 	waveBuf := 0
-	for len(wave) > 0 {
+	net := e.net
+	ec := e.echo
+	if net != nil && ec == nil {
+		ec = newEchoState(len(env.Devices))
+		e.echo = ec
+	}
+	echoCur := 0
+	for len(wave) > 0 || (net != nil && (ec.pending(echoCur) || net.HasDue(slot))) {
 		// Phase B: plan sequentially (shared-stream preamble draws in wave
 		// order), evaluate senders in parallel on their own streams, resolve
 		// sequentially.
-		plan := env.Transport.PlanBroadcastAll(wave, rach.RACH1, rach.KindPulse, e.service, slot)
-		if e.pool != nil {
-			e.pool.run(len(wave), func(w, lo, hi int) {
-				sc := sh.scratch[w]
-				for k := lo; k < hi; k++ {
+		contiguous := true
+		senders := wave
+		if net != nil {
+			senders = ec.senders(wave, echoCur)
+		}
+		var dels []rach.Delivery
+		if len(senders) > 0 {
+			plan := env.Transport.PlanBroadcastAll(senders, rach.RACH1, rach.KindPulse, e.service, slot)
+			if e.pool != nil {
+				e.pool.run(len(senders), func(w, lo, hi int) {
+					sc := sh.scratch[w]
+					for k := lo; k < hi; k++ {
+						sc = plan.EvalSender(k, sc)
+					}
+					sh.scratch[w] = sc
+				})
+			} else {
+				sc := sh.scratch[0]
+				for k := range senders {
 					sc = plan.EvalSender(k, sc)
 				}
-				sh.scratch[w] = sc
-			})
-		} else {
-			sc := sh.scratch[0]
-			for k := range wave {
-				sc = plan.EvalSender(k, sc)
+				sh.scratch[0] = sc
 			}
-			sh.scratch[0] = sc
+			dels = plan.Resolve()
+			contiguous = plan.ReceiverContiguous()
+			if net != nil {
+				ec.stamp(dels, echoCur)
+			}
+			if e.fltFilters {
+				dels = filterFaultDeliveries(e.flt, dels, slot)
+			}
 		}
-		dels := plan.Resolve()
-		if e.fltFilters {
-			dels = filterFaultDeliveries(e.flt, dels, slot)
+		if net != nil {
+			dels = net.Cycle(dels, slot)
+			contiguous = true // drained in (receiver, sequence) order
+			ec.reset(1 - echoCur)
 		}
 		if rs != nil {
 			t1 := time.Now()
@@ -385,7 +439,7 @@ func (sh *shardEngine) step(slot units.Slot, couples couplingRule, opsPerPulse u
 		buf := waveBuf
 		waveBuf ^= 1
 		next := e.waves[buf][:0]
-		if !plan.ReceiverContiguous() {
+		if !contiguous {
 			for _, del := range dels {
 				if !env.Alive[del.To] {
 					continue
@@ -399,11 +453,18 @@ func (sh *shardEngine) step(slot units.Slot, couples couplingRule, opsPerPulse u
 				recv.Osc.AdvanceTo(s64)
 				prePhase := recv.Osc.Phase
 				preQueued := recv.Osc.QueuedJumps()
-				if recv.Osc.OnPulse(s64) {
+				if recv.Osc.OnPulseSent(int64(del.Msg.Slot), s64) {
 					next = append(next, del.To)
 					sh.markDirty(del.To, slot)
-				} else if recv.Osc.Phase != prePhase || recv.Osc.QueuedJumps() != preQueued {
-					sh.markDirty(del.To, slot)
+				} else {
+					if recv.Osc.Phase != prePhase || recv.Osc.QueuedJumps() != preQueued {
+						sh.markDirty(del.To, slot)
+					}
+					if net != nil {
+						if ep, ok := recv.Osc.TakeEcho(); ok {
+							ec.collect(1-echoCur, del.To, units.Slot(ep))
+						}
+					}
 				}
 			}
 		} else if len(dels) > 0 {
@@ -438,16 +499,27 @@ func (sh *shardEngine) step(slot units.Slot, couples couplingRule, opsPerPulse u
 				}
 			}
 			contributing := 0
+			echoing := 0
 			for _, s := range touched {
 				if len(sh.nextSh[s]) > 0 {
 					contributing++
 					next = append(next, sh.nextSh[s]...)
+				}
+				if len(sh.echoSh[s]) > 0 {
+					echoing++
+					fill := 1 - echoCur
+					ec.ids[fill] = append(ec.ids[fill], sh.echoSh[s]...)
+					ec.epochs[fill] = append(ec.epochs[fill], sh.echoEpSh[s]...)
 				}
 				*ops += sh.opsSh[s] * opsPerPulse
 				sh.shRuns[s] = sh.shRuns[s][:0]
 			}
 			if contributing > 1 {
 				sort.Ints(next) // receiver-ascending = the reference's append order
+			}
+			if echoing > 1 {
+				fill := 1 - echoCur
+				sortEchoPairs(ec.ids[fill], ec.epochs[fill])
 			}
 		}
 		if rs != nil {
@@ -458,6 +530,7 @@ func (sh *shardEngine) step(slot units.Slot, couples couplingRule, opsPerPulse u
 		e.waves[buf] = next
 		fired = append(fired, next...)
 		wave = next
+		echoCur = 1 - echoCur
 	}
 	e.firedAll = fired
 

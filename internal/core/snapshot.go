@@ -41,6 +41,9 @@ func captureState(env *Env, eng *engine, slot units.Slot) *snapshot.State {
 	if env.Faults != nil {
 		st.FaultCursor = env.Faults.Cursor()
 	}
+	if env.Net != nil {
+		st.Net = env.Net.State()
+	}
 	st.Devices = make([]snapshot.DeviceState, len(env.Devices))
 	for i, d := range env.Devices {
 		st.Devices[i] = captureDevice(d)
@@ -93,6 +96,13 @@ func restoreEnvState(env *Env, st *snapshot.State) {
 	env.Transport.RestoreCounters(st.Transport.Counters, st.Transport.Collisions)
 	if env.Faults != nil {
 		env.Faults.SetCursor(st.FaultCursor)
+	}
+	// The queue exists iff the config carries a non-degenerate asynchrony
+	// plan — the same predicate that decided whether the capture wrote a Net
+	// section, so the two sides always agree. The delay stream's cursor was
+	// already reseated by Streams.Restore above.
+	if env.Net != nil && st.Net != nil {
+		env.Net.Restore(st.Net)
 	}
 	env.Cfg.Telemetry.SetState(st.Telemetry)
 	// Seed branching: with the prefix state fully overlaid, reroot every

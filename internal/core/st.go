@@ -128,7 +128,11 @@ func (ST) Run(env *Env) Result {
 		lastFired = make([]units.Slot, cfg.N)
 		presumedDead = make([]bool, cfg.N)
 		rebooted = make([]bool, cfg.N)
-		watchSlots = units.Slot(cfg.watchdogPeriods() * cfg.PeriodSlots)
+		// Patience widens by the message adversary's delay bound: a pulse
+		// may arrive netMaxDelay slots after it was sent, so only silence
+		// beyond watchdogPeriods*T + maxDelay proves the sender stopped
+		// transmitting (no-false-positive under bounded asynchrony).
+		watchSlots = units.Slot(cfg.watchdogPeriods()*cfg.PeriodSlots) + cfg.netMaxDelay()
 		// The watchdog arms lazily, at the first applied fault action: it
 		// can only ever convict after a crash silenced somebody (live
 		// oscillators fire at most two periods apart, well inside the
@@ -167,6 +171,34 @@ func (ST) Run(env *Env) Result {
 			}
 		}
 		cfg.emit(trace.Event{Slot: slot, Kind: trace.KindMerge, A: edge.U, B: edge.V})
+	}
+
+	// Partition awareness for the merge protocol: a candidate edge across an
+	// active split cannot complete its H_Connect handshake, so the protocol
+	// skips it (and defers, rather than completes, a fragment with no other
+	// choice — see ghs.Config.LinkBlocked). The closure reads the loop's
+	// slot variable like adopt does; it stays nil without a fault plan so
+	// the fault-free protocol object is byte-identical to the seed's.
+	var linkBlocked func(from, to int) bool
+	if flt := env.Faults; flt != nil {
+		linkBlocked = func(from, to int) bool {
+			return flt.PartitionBlocked(from, to, int64(slot))
+		}
+	}
+
+	// presumedAlive reports whether any powered-on device is currently
+	// presumed dead — only partitions produce that state (a crash is really
+	// dead, a recovery clears its presumption), and it is transient: the
+	// device un-presumes at its first fire after the splits lift. While it
+	// holds, a "live set still partitioned" verdict is provisional, never
+	// terminal.
+	presumedAlive := func() bool {
+		for d, pd := range presumedDead {
+			if pd && env.Alive[d] {
+				return true
+			}
+		}
+		return false
 	}
 
 	// Telemetry probes: fragment count from the merge protocol's
@@ -212,7 +244,7 @@ func (ST) Run(env *Env) Result {
 		ss := rst.ST
 		applyResultState(&res, ss.Result)
 		det.SetState(ss.Detector)
-		gcfg := ghs.Config{OnMessage: rach2, LinkTrials: env.linkTrials, OnMerge: adopt}
+		gcfg := ghs.Config{OnMessage: rach2, LinkTrials: env.linkTrials, OnMerge: adopt, LinkBlocked: linkBlocked}
 		if ss.Tree != nil {
 			tree = ghs.RestoreProtocol(gcfg, *ss.Tree)
 		}
@@ -245,6 +277,30 @@ func (ST) Run(env *Env) Result {
 		if flt != nil {
 			for _, f := range fired {
 				lastFired[f] = slot
+				// A presumed-dead device heard firing after every split has
+				// lifted was a partition casualty, not a corpse: lift the
+				// presumption and schedule a repair so it re-attaches. (A
+				// genuinely crashed device never fires, and a recovery
+				// clears its presumption explicitly before its first fire,
+				// so this path is inert for pure crash/recover plans.)
+				if presumedDead[f] && !flt.PartitionActive(slot) {
+					presumedDead[f] = false
+					if !repairArmed {
+						repairArmed, repairTries = true, 0
+					}
+					if tree != nil {
+						awaitRepair = true
+					}
+					if nextMerge <= slot {
+						nextMerge = slot + mergeInterval
+					}
+				}
+			}
+			// A partition starting counts as fault activity even though it
+			// is not a membership action: arm the watchdog so the split is
+			// observed (and the far side presumed) on the usual kT chain.
+			if nextWatch == slotHorizonNone && flt.PartitionActive(slot) {
+				nextWatch = (slot/units.Slot(cfg.PeriodSlots) + 1) * units.Slot(cfg.PeriodSlots)
 			}
 			if ap := eng.applyFaults(slot); ap.any() {
 				// First fault action: arm the watchdog at the next
@@ -290,10 +346,11 @@ func (ST) Run(env *Env) Result {
 			if tree == nil || !tree.Done() {
 				if tree == nil {
 					tree = ghs.NewProtocol(ghs.Config{
-						Neighbors:  snapshotNeighbors(env),
-						OnMessage:  rach2,
-						LinkTrials: env.linkTrials,
-						OnMerge:    adopt,
+						Neighbors:   snapshotNeighbors(env),
+						OnMessage:   rach2,
+						LinkTrials:  env.linkTrials,
+						OnMerge:     adopt,
+						LinkBlocked: linkBlocked,
 					})
 				}
 				tree.Step()
@@ -311,8 +368,11 @@ func (ST) Run(env *Env) Result {
 					// Under a fault plan only a *live* partition with no
 					// pending fault activity or repair is hopeless —
 					// fragments of dead devices re-attach via repair
-					// when (if) they recover.
-					if liveFragments(env, frag) > 1 && !flt.Pending() && !repairArmed && !awaitRepair {
+					// when (if) they recover, and a scheduled network
+					// split must have lifted (and its casualties been
+					// heard again) before disconnection is terminal.
+					if liveFragments(env, frag) > 1 && !flt.Pending() && !repairArmed && !awaitRepair &&
+						slot >= flt.PartitionEnd() && !presumedAlive() {
 						finalSlot = slot
 						break
 					}
@@ -325,10 +385,11 @@ func (ST) Run(env *Env) Result {
 				// pieces pay re-attachment traffic.
 				if repair == nil {
 					repair = ghs.NewProtocol(ghs.Config{
-						Neighbors:  snapshotLiveNeighbors(env, presumedDead),
-						OnMessage:  rach2,
-						LinkTrials: env.linkTrials,
-						OnMerge:    adopt,
+						Neighbors:   snapshotLiveNeighbors(env, presumedDead),
+						OnMessage:   rach2,
+						LinkTrials:  env.linkTrials,
+						OnMerge:     adopt,
+						LinkBlocked: linkBlocked,
 					})
 					repair.Preseed(survivingEdges(env, tree, presumedDead, rebooted))
 				}
@@ -358,12 +419,14 @@ func (ST) Run(env *Env) Result {
 						repair = nil
 						repairTries++
 						if repairTries >= maxRepairTries {
-							if !flt.Pending() {
+							if !flt.Pending() && slot >= flt.PartitionEnd() && !presumedAlive() {
 								finalSlot = slot
 								break
 							}
-							// Pending fault activity may change the
-							// picture; stand down until it does.
+							// Pending fault activity, an unexpired network
+							// split, or a partition casualty not yet heard
+							// again may change the picture; stand down
+							// until it does (the un-presume path re-arms).
 							repairArmed = false
 						}
 					}
@@ -378,8 +441,29 @@ func (ST) Run(env *Env) Result {
 		// patience cannot false-positive), and arm a repair round.
 		if flt != nil && slot >= nextWatch {
 			nextWatch = slot + units.Slot(cfg.PeriodSlots)
+			// Under an active partition the far side is unhearable even
+			// though the global fired oracle keeps stamping lastFired, so
+			// silence alone cannot convict it. Presume instead by
+			// reachability: devices an active split separates from the
+			// lowest-id live unpresumed device (the side repair rebuilds
+			// from) are treated as departed until the split lifts and they
+			// are heard again. Graceful degradation, not a wedge: each side
+			// keeps its own rhythm and the repair machinery re-joins them.
+			ref := -1
+			if flt.PartitionActive(slot) {
+				for d := range lastFired {
+					if env.Alive[d] && !presumedDead[d] {
+						ref = d
+						break
+					}
+				}
+			}
 			for d, lf := range lastFired {
-				if lf > 0 && !presumedDead[d] && slot-lf > watchSlots {
+				if lf == 0 || presumedDead[d] {
+					continue
+				}
+				split := ref >= 0 && d != ref && flt.PartitionBlocked(ref, d, int64(slot))
+				if slot-lf > watchSlots || split {
 					presumedDead[d] = true
 					if !repairArmed {
 						repairArmed, repairTries = true, 0
@@ -430,7 +514,11 @@ func (ST) Run(env *Env) Result {
 				}
 			}
 		}
-		if synced && (flt == nil || (!awaitRepair && !repairArmed && !flt.Pending())) {
+		// A run never exits before every scheduled partition has lifted:
+		// a split must be observed healing, not raced past by a fragment
+		// that happened to satisfy the detector on its own.
+		if synced && (flt == nil || (!awaitRepair && !repairArmed && !flt.Pending() &&
+			slot >= flt.PartitionEnd() && !presumedAlive())) {
 			finalSlot = slot
 			break
 		}
@@ -511,6 +599,10 @@ func (ST) Run(env *Env) Result {
 	res.Energy = energy.LTEDefaults().Charge(res.Counters, cfg.N, res.ConvergenceSlots)
 	res.DiscoveredLinks = countDiscoveredLinks(env)
 	res.ServiceDiscovery = env.ServiceDiscoveryRatio()
+	if env.Net != nil {
+		c := env.Net.Counters()
+		res.Net = &c
+	}
 	return res
 }
 

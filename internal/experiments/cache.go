@@ -27,6 +27,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"repro/internal/asyncnet"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/units"
@@ -35,7 +36,7 @@ import (
 // cacheSchema versions the digest layout and the disk envelope together:
 // bump it whenever the manifest fields, the probe grid or the Result shape
 // change meaning, and every previously stored entry silently misses.
-const cacheSchema = 1
+const cacheSchema = 2
 
 // pathLossProbes are the distances (metres) at which the path-loss model is
 // fingerprinted. PathLoss is an interface with no canonical serialization;
@@ -90,8 +91,9 @@ type cacheManifest struct {
 	FailAt  int64 `json:"fail_at"`
 	FailSet []int `json:"fail_set,omitempty"`
 
-	Faults          *faults.Plan `json:"faults,omitempty"`
-	WatchdogPeriods int          `json:"watchdog_periods"`
+	Faults          *faults.Plan   `json:"faults,omitempty"`
+	WatchdogPeriods int            `json:"watchdog_periods"`
+	Net             *asyncnet.Plan `json:"net,omitempty"`
 }
 
 // CacheKey digests the model-relevant configuration of one (config,
@@ -163,6 +165,7 @@ func CacheKey(cfg core.Config, protocol string) (key string, ok bool) {
 
 		Faults:          cfg.Faults,
 		WatchdogPeriods: cfg.WatchdogPeriods,
+		Net:             cfg.Net,
 	}
 	for i, d := range pathLossProbes {
 		m.PathLossProbe[i] = float64(cfg.PathLoss.Loss(units.Metre(d)))

@@ -61,6 +61,19 @@ type Outage struct {
 	B     int   `json:"b"`
 }
 
+// Partition is one scheduled network split: for Slots slots starting at At,
+// the devices in Group and the rest of the network cannot hear each other —
+// every message with exactly one endpoint in Group drops, in both
+// directions — while traffic within either side flows normally. Merge
+// handshakes honour the same split (Injector.PartitionBlocked), so the
+// self-healing protocols fragment and re-join instead of merging across a
+// link that cannot carry traffic.
+type Partition struct {
+	At    int64 `json:"at"`
+	Slots int64 `json:"slots"`
+	Group []int `json:"group"`
+}
+
 // Plan is the complete fault schedule of one run.
 type Plan struct {
 	// Version must equal PlanSchema.
@@ -72,6 +85,8 @@ type Plan struct {
 	Actions []Action `json:"actions,omitempty"`
 	// Outages are the burst link blockages.
 	Outages []Outage `json:"outages,omitempty"`
+	// Partitions are the scheduled network splits.
+	Partitions []Partition `json:"partitions,omitempty"`
 }
 
 // Read decodes a plan from r, rejecting unknown fields so typos in
@@ -106,7 +121,7 @@ func Load(path string) (*Plan, error) {
 
 // Empty reports whether the plan (possibly nil) schedules nothing at all.
 func (p *Plan) Empty() bool {
-	return p == nil || (p.LossRate == 0 && len(p.Actions) == 0 && len(p.Outages) == 0)
+	return p == nil || (p.LossRate == 0 && len(p.Actions) == 0 && len(p.Outages) == 0 && len(p.Partitions) == 0)
 }
 
 // Validate checks the plan against a run shape: n devices, maxSlots slot
@@ -172,6 +187,30 @@ func (p *Plan) Validate(n int, maxSlots int64) error {
 			return fmt.Errorf("faults: outage %d: device b=%d must be -1 or a distinct id in [0,%d)", i, o.B, n)
 		}
 	}
+	for i, pt := range p.Partitions {
+		if pt.Slots < 1 {
+			return fmt.Errorf("faults: partition %d: slots=%d < 1", i, pt.Slots)
+		}
+		if pt.At < 1 || pt.At > maxSlots {
+			return fmt.Errorf("faults: partition %d: at=%d outside [1,%d]", i, pt.At, maxSlots)
+		}
+		if len(pt.Group) == 0 {
+			return fmt.Errorf("faults: partition %d: empty group", i)
+		}
+		if len(pt.Group) >= n {
+			return fmt.Errorf("faults: partition %d: group of %d does not split %d devices", i, len(pt.Group), n)
+		}
+		seenDev := make(map[int]bool, len(pt.Group))
+		for _, id := range pt.Group {
+			if id < 0 || id >= n {
+				return fmt.Errorf("faults: partition %d: device %d outside [0,%d)", i, id, n)
+			}
+			if seenDev[id] {
+				return fmt.Errorf("faults: partition %d: duplicate device %d", i, id)
+			}
+			seenDev[id] = true
+		}
+	}
 	return nil
 }
 
@@ -221,6 +260,9 @@ func (p *Plan) String() string {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "faults: %d actions, %d outages", len(p.Actions), len(p.Outages))
+	if len(p.Partitions) > 0 {
+		fmt.Fprintf(&b, ", %d partitions", len(p.Partitions))
+	}
 	if p.LossRate > 0 {
 		fmt.Fprintf(&b, ", loss %.3f", p.LossRate)
 	}

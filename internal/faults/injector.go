@@ -15,8 +15,16 @@ type Injector struct {
 	actions []Action // sorted by (At, Device)
 	cursor  int
 	outages []Outage
-	loss    float64
-	lossSrc *xrand.Stream
+	// partitions are the plan's splits compiled for O(1) side lookup.
+	partitions []partition
+	loss       float64
+	lossSrc    *xrand.Stream
+}
+
+// partition is one compiled network split over [at, end).
+type partition struct {
+	at, end int64
+	in      map[int]bool
 }
 
 // NewInjector compiles a plan. lossSrc is the dedicated "faults" stream; it
@@ -31,6 +39,13 @@ func NewInjector(p *Plan, lossSrc *xrand.Stream) *Injector {
 		outages: append([]Outage(nil), p.Outages...),
 		loss:    p.LossRate,
 		lossSrc: lossSrc,
+	}
+	for _, pt := range p.Partitions {
+		in := make(map[int]bool, len(pt.Group))
+		for _, id := range pt.Group {
+			in[id] = true
+		}
+		inj.partitions = append(inj.partitions, partition{at: pt.At, end: pt.At + pt.Slots, in: in})
 	}
 	sort.Slice(inj.actions, func(i, j int) bool {
 		if inj.actions[i].At != inj.actions[j].At {
@@ -61,17 +76,29 @@ func (inj *Injector) InitialDead() []int {
 	return out
 }
 
-// NextBoundary returns the slot of the earliest not-yet-applied action after
-// `after`, for folding into the event engine's next-step horizon. Outages
-// and loss need no boundaries: they only filter deliveries at slots where
-// something fires anyway.
+// NextBoundary returns the slot of the earliest not-yet-applied action or
+// partition edge (start or lift) after `after`, for folding into the event
+// engine's next-step horizon. Outages and loss need no boundaries: they only
+// filter deliveries at slots where something fires anyway. Partition edges
+// do — the protocols' repair scheduling observes the split starting and
+// lifting even when no oscillator fires at those slots.
 func (inj *Injector) NextBoundary(after units.Slot) (units.Slot, bool) {
+	var best units.Slot
+	ok := false
 	for i := inj.cursor; i < len(inj.actions); i++ {
 		if at := units.Slot(inj.actions[i].At); at > after {
-			return at, true
+			best, ok = at, true
+			break
 		}
 	}
-	return 0, false
+	for _, pt := range inj.partitions {
+		for _, edge := range [2]int64{pt.at, pt.end} {
+			if at := units.Slot(edge); at > after && (!ok || at < best) {
+				best, ok = at, true
+			}
+		}
+	}
+	return best, ok
 }
 
 // PopDue returns the actions due at or before slot, in (At, Device) order,
@@ -105,15 +132,17 @@ func (inj *Injector) SetCursor(c int) {
 }
 
 // Filters reports whether the injector can ever drop a delivery — false for
-// plans with neither outages nor loss, letting the engines skip the
-// per-delivery filter entirely (the faults-off hot path).
-func (inj *Injector) Filters() bool { return inj.loss > 0 || len(inj.outages) > 0 }
+// plans with neither outages, partitions nor loss, letting the engines skip
+// the per-delivery filter entirely (the faults-off hot path).
+func (inj *Injector) Filters() bool {
+	return inj.loss > 0 || len(inj.outages) > 0 || len(inj.partitions) > 0
+}
 
-// Drops decides whether the delivery from→to at slot is lost. Outage
-// matching is checked first (pure schedule lookup, no randomness); only
-// then, and only when LossRate > 0, is the loss stream drawn — once per
-// surviving delivery, in delivery-list order, which the engines keep
-// invariant across engine kind and worker count.
+// Drops decides whether the delivery from→to at slot is lost. Outage and
+// partition matching are checked first (pure schedule lookups, no
+// randomness); only then, and only when LossRate > 0, is the loss stream
+// drawn — once per surviving delivery, in delivery-list order, which the
+// engines keep invariant across engine kind and worker count.
 func (inj *Injector) Drops(from, to int, slot units.Slot) bool {
 	for _, o := range inj.outages {
 		if int64(slot) < o.At || int64(slot) >= o.At+o.Slots {
@@ -129,8 +158,57 @@ func (inj *Injector) Drops(from, to int, slot units.Slot) bool {
 			return true
 		}
 	}
+	if inj.PartitionBlocked(from, to, int64(slot)) {
+		return true
+	}
 	if inj.loss > 0 {
 		return inj.lossSrc.Float64() < inj.loss
 	}
 	return false
+}
+
+// PartitionBlocked reports whether an active partition separates from and to
+// at slot — the link cannot carry traffic in either direction. Safe on a nil
+// injector.
+func (inj *Injector) PartitionBlocked(from, to int, slot int64) bool {
+	if inj == nil {
+		return false
+	}
+	for _, pt := range inj.partitions {
+		if slot >= pt.at && slot < pt.end && pt.in[from] != pt.in[to] {
+			return true
+		}
+	}
+	return false
+}
+
+// PartitionActive reports whether any partition is splitting the network at
+// slot. Safe on a nil injector.
+func (inj *Injector) PartitionActive(slot units.Slot) bool {
+	if inj == nil {
+		return false
+	}
+	for _, pt := range inj.partitions {
+		if int64(slot) >= pt.at && int64(slot) < pt.end {
+			return true
+		}
+	}
+	return false
+}
+
+// PartitionEnd returns the first slot at which every scheduled partition has
+// lifted (0 when the plan has none). The self-healing protocols refuse to
+// declare a run finished before it: a network split mid-run must be
+// observed healing, not raced past. Safe on a nil injector.
+func (inj *Injector) PartitionEnd() units.Slot {
+	if inj == nil {
+		return 0
+	}
+	var end int64
+	for _, pt := range inj.partitions {
+		if pt.end > end {
+			end = pt.end
+		}
+	}
+	return units.Slot(end)
 }

@@ -91,6 +91,15 @@ type Config struct {
 	// aligns its firefly phase to the surviving fragment through the
 	// H_Connect exchange.
 	OnMerge func(edge graph.Edge, winnerBoundary int, adopting []int)
+	// LinkBlocked, when non-nil, reports that the (from,to) link cannot
+	// currently carry traffic (a network partition separates the
+	// endpoints). Blocked candidate edges are skipped for the phase — no
+	// probe is charged, the H_Connect handshake simply cannot complete —
+	// and a fragment whose every outgoing edge is blocked defers rather
+	// than concluding it has none: Step keeps returning true without
+	// latching Done, so the protocol resumes merging when the split
+	// lifts instead of wedging on a false "forest complete" verdict.
+	LinkBlocked func(from, to int) bool
 }
 
 // Result is the outcome of a run.
@@ -219,6 +228,7 @@ func (p *Protocol) Step() bool {
 	// Each fragment selects its heaviest outgoing edge.
 	chosen := make(map[int]graph.Edge)
 	progress := false
+	deferred := false
 	for _, r := range roots {
 		frag := p.members[r]
 		// Convergecast + flood accounting: one Report and one
@@ -236,10 +246,15 @@ func (p *Protocol) Step() bool {
 		}
 		best := graph.Edge{Weight: -1}
 		ok := false
+		blockedEdge := false
 		for _, u := range frag {
 			for _, e := range p.w[u] {
 				if p.uf.Find(e.Peer) == r {
 					continue // internal edge
+				}
+				if p.cfg.LinkBlocked != nil && p.cfg.LinkBlocked(u, e.Peer) {
+					blockedEdge = true
+					continue // the split swallows the H_Connect probe
 				}
 				cand := graph.Edge{U: u, V: e.Peer, Weight: e.Weight}
 				if !ok || heavier(cand, best) {
@@ -253,9 +268,18 @@ func (p *Protocol) Step() bool {
 			// H_Connect handshake on the chosen edge.
 			p.charge(MsgConnect, best.U, best.V)
 			p.charge(MsgAccept, best.V, best.U)
+		} else if blockedEdge {
+			deferred = true
 		}
 	}
 	if !progress {
+		if deferred {
+			// Some fragment's only outgoing edges sit across an active
+			// partition: the phase is a stand-down, not a completion.
+			// No phase is charged and Done stays false — the caller's
+			// merge cadence will retry once the split lifts.
+			return true
+		}
 		p.done = true
 		return false
 	}

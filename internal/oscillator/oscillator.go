@@ -113,6 +113,21 @@ type Oscillator struct {
 	refractUntil int64 // absolute slot until which pulses are ignored
 	jumpsUsed    int   // PRC jumps consumed since the last own fire
 	queued       []queuedJump
+	echoEpoch    int64 // adopted epoch of the latest virtual fire
+	echoSet      bool  // an echo of echoEpoch is pending transmission
+	// anchorVirtual marks the current cycle anchor as a virtual fire: the
+	// beat was adopted from an aged pulse, not announced by a real
+	// transmission. A virtual anchor is immune to retro-alignment until
+	// the next real fire — without that stickiness, chains of slightly
+	// older in-flight pulses walk a device's beat backward without bound
+	// (each steal re-opens the window to still-older epochs), which at
+	// delays near T/2 turns the echo cascade into permanent churn.
+	anchorVirtual bool
+	// retroFrom is the origin fire slot of a retro-aligned cycle — the last
+	// fire reached by actual phase dynamics before pre-fire pulses began
+	// rewriting the epoch backward. Zero while the cycle's fire stands
+	// unrewritten.
+	retroFrom int64
 
 	// Lazy segment state. Between discontinuities (fires, PRC jumps,
 	// matured reachback corrections, external Phase writes, step-size
@@ -213,6 +228,8 @@ func (o *Oscillator) fireReset(nowSlot int64) {
 	o.lastMat = 0
 	o.refractUntil = nowSlot + int64(o.Refractory)
 	o.jumpsUsed = 0
+	o.anchorVirtual = false
+	o.retroFrom = 0
 }
 
 // applyMatured folds queued reachback jumps whose delay has elapsed into the
@@ -436,8 +453,48 @@ func (o *Oscillator) LastSlot() int64 { return o.lastSlot }
 // fire per slot, so same-slot cascades always terminate. Pulses arriving
 // inside the refractory window are ignored and return false.
 func (o *Oscillator) OnPulse(nowSlot int64) (fired bool) {
-	if nowSlot < o.refractUntil {
-		return false
+	return o.OnPulseSent(nowSlot, nowSlot)
+}
+
+// OnPulseSent is OnPulse for a pulse transmitted at sendSlot and delivered
+// at nowSlot (equal without a message adversary, which makes this a strict
+// generalization). Two rules remove the arrival time from the dynamics:
+//
+//   - Refractoriness is judged at the send slot: a pulse whose sender fired
+//     in the same round the receiver already fired in is answered no matter
+//     how late the adversary delivers it — its epoch, not its arrival time,
+//     decides. Once the network fires in one slot, every delayed echo of
+//     that common round lands inside each receiver's (send-slot) refractory
+//     window and perturbs nothing, exactly as same-slot echoes do in
+//     lockstep.
+//
+//   - The PRC is age-compensated: the jump is evaluated at the phase the
+//     receiver held when the pulse was sent (back-projected down the ramp)
+//     and the flight window is replayed on top of the corrected value.
+//     Naively jumping the delivery-slot phase instead turns bounded delay
+//     into the textbook delayed-excitatory-coupling system, whose stable
+//     attractor is a splay state, not synchrony.
+//
+// With both rules the phase deltas each pulse produces match the zero-delay
+// dynamics (up to pulses received during the flight window), so convergence
+// carries over from the lockstep analysis.
+func (o *Oscillator) OnPulseSent(sendSlot, nowSlot int64) (fired bool) {
+	if sendSlot < o.refractUntil {
+		// lastFire is the slot the receiver's current cycle started in. A
+		// pulse sent at or after it is a genuine refractory rejection — in
+		// the synchronized state every echo of the common round lands
+		// here. A pulse sent strictly before it is different: lockstep
+		// would have delivered it before the receiver fired, so the fire
+		// the receiver already performed happened at the wrong slot and
+		// is retro-aligned toward the sender's beat.
+		lastFire := o.refractUntil - int64(o.Refractory)
+		if sendSlot >= lastFire {
+			return false
+		}
+		return o.onPreFirePulse(lastFire, sendSlot, nowSlot)
+	}
+	if sendSlot != nowSlot {
+		return o.onAgedPulse(sendSlot, nowSlot)
 	}
 	if o.Phase < o.ListenPhase {
 		return false
@@ -461,6 +518,186 @@ func (o *Oscillator) OnPulse(nowSlot int64) (fired bool) {
 		return true
 	}
 	o.rebaseHere()
+	return false
+}
+
+// onAgedPulse applies a pulse that spent age = nowSlot−sendSlot slots in
+// flight. It reconstructs what the zero-delay dynamics would have done: the
+// PRC jump is evaluated at the receiver's back-projected send-slot phase,
+// and the flight window is replayed on the corrected trajectory. If that
+// trajectory crosses the threshold, the receiver "fired" at a slot that has
+// already passed — it cannot transmit into the past, so it performs the
+// fire silently (phase reset, refractory window and jump budget anchored at
+// the virtual fire slot) and resumes the ramp from there. The virtual fire
+// is what makes absorption align rhythms instead of locking the receiver a
+// constant age off the sender's beat, and the send-slot refractory it opens
+// rejects every further echo of the same round.
+func (o *Oscillator) onAgedPulse(sendSlot, nowSlot int64) bool {
+	step := o.stepSize()
+	// Back-projection is exact only across pure ramp slots: every jump
+	// applied since sendSlot is baked into Phase and cannot be peeled off
+	// linearly. Clamp the reach-back to the current segment — a pulse
+	// older than the last discontinuity is evaluated at the segment
+	// origin, matching lockstep's sequential application once the true
+	// interleaving is unrecoverable. Without the clamp, dense coupling
+	// (FST all-to-all) inflates phaseThen past the capture zone and the
+	// population beat-hops forever instead of contracting.
+	reach := nowSlot - sendSlot
+	phaseThen := o.Phase - float64(reach)*step
+	if phaseThen < 0 {
+		phaseThen = 0
+	}
+	if phaseThen < o.ListenPhase {
+		return false
+	}
+	if o.JumpsPerCycle > 0 && o.jumpsUsed >= o.JumpsPerCycle {
+		return false
+	}
+	o.jumpsUsed++
+	if o.ReachbackDelaySlots > 0 {
+		o.queued = append(o.queued, queuedJump{
+			applyAt: nowSlot + int64(o.ReachbackDelaySlots),
+			delta:   o.Coupling.Jump(phaseThen) - phaseThen,
+		})
+		return false
+	}
+	jumped := o.Coupling.Jump(phaseThen)
+	// First slot in the replayed window where the corrected trajectory
+	// reaches the threshold; fireD == 0 is absorption at the window base
+	// itself, fireD < 0 means no crossing within the flight window. The
+	// window base is sendSlot when the whole flight was pure ramp, or the
+	// segment origin when the clamp shortened the reach.
+	base := nowSlot - reach
+	fireD := int64(-1)
+	if jumped >= Threshold-fireEpsilon {
+		fireD = 0
+	} else {
+		for d := int64(1); d <= reach; d++ {
+			if segPhase(jumped, d, step) >= Threshold-fireEpsilon {
+				fireD = d
+				break
+			}
+		}
+	}
+	if fireD < 0 {
+		o.Phase = segPhase(jumped, reach, step)
+		o.rebaseHere()
+		return false
+	}
+	// The absorption replaces the fire the receiver never performed this
+	// round, so it is announced as an echo — that is what lets absorption
+	// cascade under delay the way same-slot avalanches do in lockstep.
+	o.virtualFire(base+fireD, nowSlot, step, true)
+	return false
+}
+
+// virtualFire performs a fire at a slot that has already passed: phase
+// reset, refractory window and jump budget are anchored at the (past) fire
+// slot and the ramp is replayed forward to nowSlot. The fire it would have
+// announced belongs to a slot no broadcast can reach any more, so instead
+// the adopted epoch is recorded for the engine to transmit as an echo — a
+// pulse sent now but stamped with the epoch slot — which is what lets
+// absorption cascade under delay the way same-slot avalanches do in
+// lockstep.
+func (o *Oscillator) virtualFire(at, nowSlot int64, step float64, announce bool) {
+	o.fireReset(at)
+	o.segStep = step
+	o.segSteps = nowSlot - at
+	o.Phase = segPhase(0, o.segSteps, step)
+	o.lastMat = o.Phase
+	o.anchorVirtual = true
+	if announce {
+		o.echoEpoch = at
+		o.echoSet = true
+	}
+}
+
+// TakeEcho consumes a pending echo request: the epoch slot of a virtual
+// fire the engine should relay on the oscillator's behalf. Virtual fires
+// only occur for aged pulses, so without a message adversary this never
+// reports true.
+func (o *Oscillator) TakeEcho() (epoch int64, ok bool) {
+	if !o.echoSet {
+		return 0, false
+	}
+	o.echoSet = false
+	return o.echoEpoch, true
+}
+
+// onPreFirePulse applies a pulse sent strictly before the receiver's most
+// recent fire at lastFire and delivered after it. In lockstep the pulse
+// would have arrived while the receiver was still ramping toward that fire
+// — the jump would have advanced it and the fire would have happened
+// earlier, at or shortly after the send slot (same-slot absorption when the
+// jump crosses the threshold). The broadcast at lastFire cannot be undone,
+// but the rhythm can: the receiver recomputes where its fire would have
+// landed on the corrected trajectory and virtually re-fires there, pulling
+// its beat toward the sender's. This is what lets a cluster tighter than
+// the delay bound finish collapsing: without it, every intra-cluster pulse
+// arrives after the receiver's own fire and dies in the refractory window,
+// freezing the cluster at its current width.
+func (o *Oscillator) onPreFirePulse(lastFire, sendSlot, nowSlot int64) bool {
+	step := o.stepSize()
+	// The pulse is evaluated against the origin trajectory — the ramp into
+	// the last fire this cycle reached by actual phase dynamics — not
+	// against the current (possibly already rewritten) epoch. Measuring
+	// from the current epoch lets rewrites chain: each one re-opens the
+	// window one hop further back, epochs walk backward without bound, and
+	// members of the same cluster scatter because the walk depends on
+	// per-receiver arrival order. Anchored at the origin, every pulse
+	// proposes the fire slot lockstep would have produced — the jump at
+	// the send-slot phase plus the remaining climb — and the cycle adopts
+	// the minimum proposal. A minimum over a set is independent of
+	// delivery order and duplication, so every member of a cluster that
+	// hears the same pulses lands on the same slot.
+	origin := lastFire
+	if o.retroFrom != 0 {
+		origin = o.retroFrom
+	}
+	if sendSlot >= origin {
+		// Between the adopted epoch and the origin: already covered by
+		// the rewrite that adopted the current epoch.
+		return false
+	}
+	// The receiver reached the threshold at origin, so its phase when the
+	// pulse was sent is the threshold back-projected down the ramp.
+	phaseThen := Threshold - float64(origin-sendSlot)*step
+	if phaseThen < 0 {
+		phaseThen = 0
+	}
+	if phaseThen < o.ListenPhase {
+		return false
+	}
+	if o.JumpsPerCycle > 0 && o.jumpsUsed >= o.JumpsPerCycle {
+		return false
+	}
+	jumped := o.Coupling.Jump(phaseThen)
+	newFire := sendSlot
+	if jumped < Threshold-fireEpsilon {
+		// Sub-threshold: the fire advances by the jump but still needs
+		// the remaining climb, in the same segment arithmetic a live
+		// ramp would use.
+		d := int64(1)
+		for ; d < lastFire-sendSlot; d++ {
+			if segPhase(jumped, d, step) >= Threshold-fireEpsilon {
+				break
+			}
+		}
+		newFire = sendSlot + d
+	}
+	if newFire >= lastFire {
+		// The proposal does not precede the adopted epoch: moot.
+		return false
+	}
+	// The adoption is echoed: a rewrite that stays private cannot spread.
+	// Each device's window only covers the pulses it directly decodes, so
+	// without re-announcing adopted epochs every device settles on the
+	// minimum over its own neighborhood and near-miss beats a few slots
+	// apart persist forever. Echoed, the minimum propagates transitively
+	// across the hearing graph — each cycle extends the reach one hop,
+	// exactly like the same-slot avalanche does in lockstep.
+	o.virtualFire(newFire, nowSlot, step, true)
+	o.retroFrom = origin
 	return false
 }
 

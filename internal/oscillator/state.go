@@ -19,15 +19,22 @@ type QueuedJumpState struct {
 // re-derived the anchor from Phase alone could round differently and drift
 // off the bit-identical trajectory.
 type State struct {
-	Phase        float64           `json:"phase"`
-	RefractUntil int64             `json:"refract_until"`
-	JumpsUsed    int               `json:"jumps_used"`
-	Queued       []QueuedJumpState `json:"queued,omitempty"`
-	SegBase      float64           `json:"seg_base"`
-	SegSteps     int64             `json:"seg_steps"`
-	SegStep      float64           `json:"seg_step"`
-	LastMat      float64           `json:"last_mat"`
-	LastSlot     int64             `json:"last_slot"`
+	Phase        float64 `json:"phase"`
+	RefractUntil int64   `json:"refract_until"`
+	JumpsUsed    int     `json:"jumps_used"`
+	// VirtualAnchor records that the current cycle anchor came from a
+	// virtual fire (adversary runs only; omitted when false so degenerate
+	// snapshots keep their pre-asynchrony byte layout).
+	VirtualAnchor bool `json:"virtual_anchor,omitempty"`
+	// RetroFrom is the origin fire slot of a retro-aligned cycle (adversary
+	// runs only; zero and omitted when the cycle's fire stands unrewritten).
+	RetroFrom int64             `json:"retro_from,omitempty"`
+	Queued    []QueuedJumpState `json:"queued,omitempty"`
+	SegBase   float64           `json:"seg_base"`
+	SegSteps  int64             `json:"seg_steps"`
+	SegStep   float64           `json:"seg_step"`
+	LastMat   float64           `json:"last_mat"`
+	LastSlot  int64             `json:"last_slot"`
 }
 
 // State returns a deep copy of the oscillator's mutable state, in canonical
@@ -40,14 +47,16 @@ type State struct {
 // byte-identical too.
 func (o *Oscillator) State() State {
 	st := State{
-		Phase:        o.Phase,
-		RefractUntil: o.refractUntil,
-		JumpsUsed:    o.jumpsUsed,
-		SegBase:      o.segBase,
-		SegSteps:     o.segSteps,
-		SegStep:      o.segStep,
-		LastMat:      o.lastMat,
-		LastSlot:     o.lastSlot,
+		Phase:         o.Phase,
+		RefractUntil:  o.refractUntil,
+		JumpsUsed:     o.jumpsUsed,
+		VirtualAnchor: o.anchorVirtual,
+		RetroFrom:     o.retroFrom,
+		SegBase:       o.segBase,
+		SegSteps:      o.segSteps,
+		SegStep:       o.segStep,
+		LastMat:       o.lastMat,
+		LastSlot:      o.lastSlot,
 	}
 	if o.Phase != o.lastMat {
 		st.SegBase = o.Phase
@@ -66,6 +75,8 @@ func (o *Oscillator) SetState(st State) {
 	o.Phase = st.Phase
 	o.refractUntil = st.RefractUntil
 	o.jumpsUsed = st.JumpsUsed
+	o.anchorVirtual = st.VirtualAnchor
+	o.retroFrom = st.RetroFrom
 	o.queued = o.queued[:0]
 	for _, q := range st.Queued {
 		o.queued = append(o.queued, queuedJump{applyAt: q.ApplyAt, delta: q.Delta})

@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/asyncnet"
 	"repro/internal/ghs"
 	"repro/internal/graph"
 	"repro/internal/oscillator"
@@ -32,7 +33,12 @@ import (
 // layout changes incompatibly; Decode rejects every other version. The
 // committed golden fixture pins the on-disk form of the current version, so
 // a layout change fails tests until the schema is bumped deliberately.
-const Schema = 1
+//
+// v2 added the message-runtime section (State.Net): a run under a bounded-
+// asynchrony adversary checkpoints its in-flight delayed messages and the
+// receiver-side duplicate-filter table, so a mid-flight resume replays the
+// remaining deliveries bit-identically.
+const Schema = 2
 
 // Envelope is the on-disk framing: a version, a digest over the raw state
 // bytes, and the state itself kept as raw JSON so the digest can be verified
@@ -167,13 +173,17 @@ type State struct {
 	Seed     int64  `json:"seed"`
 	N        int    `json:"n"`
 
-	Streams     []xrand.Cursor       `json:"streams"`
-	Devices     []DeviceState        `json:"devices"`
-	Alive       []bool               `json:"alive"`
-	Transport   TransportState       `json:"transport"`
-	FaultCursor int                  `json:"fault_cursor,omitempty"`
-	Telemetry   *telemetry.RunState  `json:"telemetry,omitempty"`
-	Engine      EngineState          `json:"engine"`
+	Streams     []xrand.Cursor      `json:"streams"`
+	Devices     []DeviceState       `json:"devices"`
+	Alive       []bool              `json:"alive"`
+	Transport   TransportState      `json:"transport"`
+	FaultCursor int                 `json:"fault_cursor,omitempty"`
+	Telemetry   *telemetry.RunState `json:"telemetry,omitempty"`
+	Engine      EngineState         `json:"engine"`
+	// Net is the message runtime's queue state — in-flight delayed
+	// deliveries and the duplicate-filter table — present only when the run
+	// has a non-degenerate asynchrony plan.
+	Net *asyncnet.State `json:"net,omitempty"`
 
 	ST  *STState  `json:"st,omitempty"`
 	FST *FSTState `json:"fst,omitempty"`
@@ -257,6 +267,24 @@ func (st *State) validate() error {
 	}
 	if st.FaultCursor < 0 {
 		return fmt.Errorf("snapshot: fault cursor %d out of range", st.FaultCursor)
+	}
+	if net := st.Net; net != nil {
+		for i, f := range net.InFlight {
+			if f.From < 0 || f.From >= st.N || f.To < 0 || f.To >= st.N {
+				return fmt.Errorf("snapshot: net flight %d endpoints (%d,%d) out of range for n=%d", i, f.From, f.To, st.N)
+			}
+			if f.At < 1 {
+				return fmt.Errorf("snapshot: net flight %d due slot %d out of range", i, f.At)
+			}
+			if f.Seq >= net.Seq {
+				return fmt.Errorf("snapshot: net flight %d seq %d not below queue seq %d", i, f.Seq, net.Seq)
+			}
+		}
+		for i, a := range net.Accepted {
+			if a.From < 0 || a.From >= st.N || a.To < 0 || a.To >= st.N {
+				return fmt.Errorf("snapshot: net filter entry %d endpoints (%d,%d) out of range for n=%d", i, a.From, a.To, st.N)
+			}
+		}
 	}
 	sections := 0
 	if st.ST != nil {

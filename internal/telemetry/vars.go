@@ -198,6 +198,16 @@ type Vars struct {
 	ResultCacheHits      atomic.Uint64
 	ResultCacheMisses    atomic.Uint64
 	ResultCacheEvictions atomic.Uint64
+
+	// Message-runtime adversary counters, accumulated per finished run
+	// (AddNetStats); all zero when no run carried an asynchrony plan.
+	NetDelayed    atomic.Uint64
+	NetDuplicated atomic.Uint64
+	NetLost       atomic.Uint64
+	NetRejected   atomic.Uint64
+	// NetPeakInFlight is the high-water mark of simultaneously in-flight
+	// messages across runs (a gauge, maintained as a CAS max).
+	NetPeakInFlight atomic.Int64
 }
 
 // SetGeometryCacheStats stores a GeometryCache's cumulative hit/miss
@@ -218,6 +228,25 @@ func (v *Vars) SetResultCacheStats(hits, misses, evictions uint64) {
 	v.ResultCacheHits.Store(hits)
 	v.ResultCacheMisses.Store(misses)
 	v.ResultCacheEvictions.Store(evictions)
+}
+
+// AddNetStats folds one finished run's message-runtime counters into the
+// live registry (counters add, the in-flight peak folds as a max). Safe to
+// call from concurrent sweep workers; a nil receiver is a no-op.
+func (v *Vars) AddNetStats(delayed, duplicated, lost, rejected uint64, peak int) {
+	if v == nil {
+		return
+	}
+	v.NetDelayed.Add(delayed)
+	v.NetDuplicated.Add(duplicated)
+	v.NetLost.Add(lost)
+	v.NetRejected.Add(rejected)
+	for {
+		old := v.NetPeakInFlight.Load()
+		if int64(peak) <= old || v.NetPeakInFlight.CompareAndSwap(old, int64(peak)) {
+			return
+		}
+	}
 }
 
 // RecordResult folds one finished run's headline numbers into the live
@@ -288,6 +317,13 @@ func (v *Vars) Snapshot() map[string]any {
 		snap["geometry_cache_hits"] = h
 		snap["geometry_cache_misses"] = m
 	}
+	if d := v.NetDelayed.Load(); d+v.NetDuplicated.Load()+v.NetLost.Load()+v.NetRejected.Load() > 0 {
+		snap["net_delayed"] = d
+		snap["net_duplicated"] = v.NetDuplicated.Load()
+		snap["net_lost"] = v.NetLost.Load()
+		snap["net_rejected"] = v.NetRejected.Load()
+		snap["net_peak_in_flight"] = v.NetPeakInFlight.Load()
+	}
 	return snap
 }
 
@@ -312,6 +348,11 @@ func (v *Vars) Snapshot() map[string]any {
 //	d2dsim_checkpoint_encode_bytes_total
 //	d2dsim_geometry_cache_{hits,misses}_total
 //	d2dsim_result_cache_{hits,misses,evictions}_total
+//
+// plus the message-runtime adversary family (DESIGN.md §14):
+//
+//	d2dsim_net_{delayed,duplicated,lost,rejected}_total
+//	d2dsim_net_peak_in_flight
 func (v *Vars) WriteMetrics(w io.Writer) error {
 	type metric struct {
 		name, help, typ string
@@ -379,6 +420,11 @@ func (v *Vars) WriteMetrics(w io.Writer) error {
 		{"d2dsim_result_cache_hits_total", "Result cache hits.", "counter", v.ResultCacheHits.Load()},
 		{"d2dsim_result_cache_misses_total", "Result cache misses.", "counter", v.ResultCacheMisses.Load()},
 		{"d2dsim_result_cache_evictions_total", "Result cache LRU evictions.", "counter", v.ResultCacheEvictions.Load()},
+		{"d2dsim_net_delayed_total", "Messages the asynchrony adversary delayed.", "counter", v.NetDelayed.Load()},
+		{"d2dsim_net_duplicated_total", "Adversary-injected duplicate messages.", "counter", v.NetDuplicated.Load()},
+		{"d2dsim_net_lost_total", "Messages dropped by the adversary loss draw.", "counter", v.NetLost.Load()},
+		{"d2dsim_net_rejected_total", "Deliveries discarded by the duplicate/stale filter.", "counter", v.NetRejected.Load()},
+		{"d2dsim_net_peak_in_flight", "High-water mark of in-flight delayed messages.", "gauge", v.NetPeakInFlight.Load()},
 	}
 	for _, m := range tail {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",
